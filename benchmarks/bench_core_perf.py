@@ -1,0 +1,58 @@
+"""Micro-benchmarks of the simulation core.
+
+These measure throughput of the hot paths (propagation, snapshot builds,
+routing) so performance regressions in the substrate are visible.
+"""
+
+import numpy as np
+
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.elements import starlink_shell1
+from repro.orbits.visibility import visible_satellites
+from repro.orbits.walker import build_walker_delta
+from repro.topology.graph import build_snapshot
+from repro.topology.routing import latency_by_hop_count
+
+
+def test_propagate_shell1(benchmark):
+    constellation = build_walker_delta(starlink_shell1())
+    times = iter(np.linspace(0.0, 5700.0, 100000))
+
+    result = benchmark(lambda: constellation.positions_ecef(next(times)))
+    assert result.shape == (1584, 3)
+
+
+def test_visibility_query(benchmark):
+    constellation = build_walker_delta(starlink_shell1())
+    point = GeoPoint(10.0, 20.0)
+
+    result = benchmark(lambda: visible_satellites(constellation, point, 0.0))
+    assert result
+
+
+def test_build_snapshot_shell1(benchmark):
+    constellation = build_walker_delta(starlink_shell1())
+    times = iter(np.linspace(0.0, 5700.0, 100000))
+
+    snapshot = benchmark(lambda: build_snapshot(constellation, float(next(times))))
+    assert snapshot.graph.number_of_edges() == 2 * 1584
+
+
+def test_hop_ladder_query(benchmark):
+    constellation = build_walker_delta(starlink_shell1())
+    snapshot = build_snapshot(constellation, 0.0)
+    sources = iter(np.random.default_rng(0).integers(0, 1584, size=100000))
+
+    ladder = benchmark(lambda: latency_by_hop_count(snapshot, int(next(sources)), 10))
+    assert set(ladder) == set(range(11))
+
+
+def test_aim_city_generation(benchmark):
+    from repro.geo.datasets import city_by_name
+    from repro.measurements.aim import STARLINK, AimGenerator
+
+    generator = AimGenerator(seed=0)
+    city = city_by_name("Maputo")
+
+    tests = benchmark(lambda: generator.generate_city_tests(city, STARLINK, 10))
+    assert len(tests) == 10

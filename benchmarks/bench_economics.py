@@ -1,0 +1,54 @@
+"""Ablation: delivery economics (paper §5) — where SpaceCDN pays off.
+
+Sweeps monthly regional demand for a remote region (no local CDN edge) and
+a well-served region, printing the per-GB cost of SpaceCDN vs terrestrial
+CDN vs origin-only delivery and the break-even demand.
+"""
+
+from repro.analysis.tables import format_table
+from repro.economics.costs import DeliveryCostModel
+
+
+def _sweep():
+    model = DeliveryCostModel()
+    rows = []
+    for demand in (1e4, 1e5, 1e6, 1e7, 1e8):
+        for edge_is_local, label in ((False, "remote"), (True, "served")):
+            breakdown = model.breakdown(demand, edge_is_local=edge_is_local)
+            rows.append(
+                (
+                    f"{demand:,.0f} GB/mo ({label})",
+                    breakdown.spacecdn_usd_per_gb,
+                    breakdown.terrestrial_cdn_usd_per_gb,
+                    breakdown.origin_only_usd_per_gb,
+                    breakdown.cheapest(),
+                )
+            )
+    breakeven_remote = model.breakeven_demand_gb_per_month(edge_is_local=False)
+    breakeven_local = model.breakeven_demand_gb_per_month(edge_is_local=True)
+    return rows, breakeven_remote, breakeven_local
+
+
+def test_economics_sweep(benchmark, emit):
+    rows, breakeven_remote, breakeven_local = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1
+    )
+    table = format_table(
+        ("demand (region)", "SpaceCDN $/GB", "terr CDN $/GB", "origin $/GB", "cheapest"),
+        rows,
+        float_fmt="{:.4f}",
+    )
+    emit(
+        "Ablation: delivery cost per GB",
+        table
+        + f"\nbreak-even demand: remote region {breakeven_remote:,.0f} GB/mo, "
+        + f"served region {breakeven_local:,.0f} GB/mo",
+    )
+
+    # The paper's economics intuition: SpaceCDN pays off first in regions
+    # with poor terrestrial infrastructure.
+    assert breakeven_remote < breakeven_local
+    cheapest_high_remote = rows[-2][4]
+    assert cheapest_high_remote == "spacecdn"
+    cheapest_low_served = rows[1][4]
+    assert cheapest_low_served == "terrestrial-cdn"

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate paper Fig. 2.
+
+Per-country delta in median RTT to the optimal CDN (Starlink - terrestrial),
+over every country measured on both networks.
+"""
+
+from repro.experiments import figure2
+from repro.experiments.common import DEFAULT_SEED
+
+
+def test_figure2(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: figure2.run(seed=DEFAULT_SEED, tests_per_city=30),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 2: per-country median RTT delta", figure2.format_result(result))
+
+    # Paper shape: terrestrial faster nearly everywhere (~50 ms typical),
+    # worst in ISL-served Africa, Nigeria the lone exception.
+    assert 25.0 < result.median_delta_ms() < 75.0
+    assert result.countries_where_starlink_faster() == ["NG"]
+    assert result.deltas_ms["MZ"] > 90.0

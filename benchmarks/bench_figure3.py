@@ -1,0 +1,27 @@
+"""Benchmark: regenerate paper Fig. 3 (Maputo case study).
+
+Median RTT from Maputo to each reachable CDN site over Starlink (a) and a
+terrestrial ISP (b).
+"""
+
+from repro.experiments import figure3
+from repro.experiments.common import DEFAULT_SEED
+from repro.measurements.aim import STARLINK, TERRESTRIAL
+
+
+def test_figure3(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: figure3.run(seed=DEFAULT_SEED, samples_per_site=25),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 3: Maputo -> CDN median RTTs", figure3.format_result(result))
+
+    star_name, star_rtt = result.optimal_site(STARLINK)
+    terr_name, terr_rtt = result.optimal_site(TERRESTRIAL)
+    assert star_name == "Frankfurt"  # paper: optimal Starlink mapping
+    assert 130.0 < star_rtt < 190.0  # paper: ~160 ms
+    assert terr_name == "Maputo"  # paper: local CDN terrestrially
+    assert 10.0 < terr_rtt < 35.0  # paper: ~20 ms
+    # African sites over Starlink exceed the Frankfurt latency by far.
+    assert result.starlink_ms["Cape Town"] > 250.0

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate paper Fig. 4.
+
+CDF of the HTTP response-time difference (Starlink - terrestrial) per
+country, from the NetMet browsing model.
+"""
+
+from repro.analysis.tables import format_cdf_points
+from repro.experiments import figure4
+from repro.experiments.common import DEFAULT_SEED
+
+
+def test_figure4(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: figure4.run(seed=DEFAULT_SEED, rounds=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 4: HTTP response-time difference", figure4.format_result(result))
+    emit(
+        "Figure 4: CDF series (diff ms @ quantile)",
+        format_cdf_points(
+            {iso2: result.cdf(iso2).points(9) for iso2 in sorted(result.differences_ms)},
+            value_label="HRT diff ms",
+        ),
+    )
+
+    # Paper shape: terrestrial wins by ~20-50 ms (up to ~100) in PoP-served
+    # countries; Nigeria is the lone Starlink win.
+    for iso2 in ("US", "CA", "GB", "DE"):
+        assert 10.0 < result.median_difference_ms(iso2) < 110.0
+    assert result.median_difference_ms("NG") < 0.0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate paper Fig. 5.
+
+First-contentful-paint distributions for Starlink vs terrestrial in Germany
+and the UK — the best case (both have local PoPs) where Starlink still pays
+~200 ms.
+"""
+
+from repro.experiments import figure5
+from repro.experiments.common import DEFAULT_SEED
+
+
+def test_figure5(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: figure5.run(seed=DEFAULT_SEED, rounds=4),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 5: first contentful paint (DE, GB)", figure5.format_result(result))
+
+    for iso2 in ("DE", "GB"):
+        gap = result.median_gap_ms(iso2)
+        assert 120.0 < gap < 350.0  # paper: ~200 ms

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate paper Fig. 8.
+
+SpaceCDN latency distributions when only 30/50/80% of satellites duty-cycle
+as caches, against the terrestrial median reference line.
+"""
+
+from repro.experiments import figure8
+from repro.experiments.common import DEFAULT_SEED
+
+
+def test_figure8(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: figure8.run(seed=DEFAULT_SEED, users_per_epoch=20, num_epochs=4),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Figure 8: duty-cycled SpaceCDN latency", figure8.format_result(result))
+
+    # Paper: >= 50% caching satellites stay competitive with terrestrial.
+    competitive = result.competitive_fractions()
+    assert 0.5 in competitive
+    assert 0.8 in competitive
+    # And the latency must decrease with the caching fraction.
+    assert (
+        result.rtt_summaries[0.8].median
+        <= result.rtt_summaries[0.5].median
+        <= result.rtt_summaries[0.3].median
+    )

@@ -1,0 +1,24 @@
+"""Ablation: geo-blocking prevalence for Starlink subscribers (§2).
+
+Quantifies how many covered countries lose access to their own
+region-licensed content because their traffic exits at a foreign PoP.
+"""
+
+from repro.experiments import geoblocking
+
+
+def test_geoblocking_prevalence(benchmark, emit):
+    result = benchmark.pedantic(geoblocking.run, rounds=1, iterations=1)
+    emit(
+        "Ablation: Starlink geo-blocking of home-market content",
+        geoblocking.format_result(result),
+    )
+
+    # The structural claim: a meaningful minority of covered countries are
+    # misblocked — all of them countries served through another region's PoP.
+    assert 0.05 < result.misblock_rate() < 0.6
+    affected = set(result.affected_countries())
+    # The Frankfurt-served African countries are the canonical victims.
+    assert {"MZ", "KE", "ZM", "RW"} <= affected
+    # Countries with a local PoP never are.
+    assert {"ES", "JP", "US", "DE"}.isdisjoint(affected)

@@ -1,0 +1,59 @@
+"""Ablation: video-stripe duration vs satellite chain and coverage gaps (§4).
+
+Stripes must be short enough that one satellite pass covers a stripe's
+playback window (the paper suggests "n minutes" per stripe with 5-10 minute
+passes).
+"""
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import shell1_constellation
+from repro.geo.coordinates import GeoPoint
+from repro.spacecdn.striping import plan_stripes, stripe_coverage_gaps
+
+
+def _sweep():
+    constellation = shell1_constellation()
+    viewer = GeoPoint(0.0, 0.0, 0.0)
+    rows = []
+    for stripe_s in (120.0, 300.0, 600.0):
+        plan = plan_stripes(
+            constellation,
+            viewer,
+            start_s=0.0,
+            video_duration_s=3600.0,
+            stripe_duration_s=stripe_s,
+            pass_step_s=15.0,
+        )
+        gaps = stripe_coverage_gaps(plan)
+        gap_seconds = sum(g for _, g in gaps)
+        preloadable = sum(1 for a in plan.assignments if a.slack_before_s > 0)
+        rows.append(
+            (
+                f"{stripe_s:.0f}s stripes",
+                plan.num_stripes,
+                len(plan.distinct_satellites()),
+                gap_seconds / 3600.0,
+                preloadable,
+            )
+        )
+    return rows
+
+
+def test_striping_sweep(benchmark, emit):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation: stripe duration vs coverage (1h video, equator viewer)",
+        format_table(
+            ("stripe", "stripes", "satellites", "uncovered frac", "preloadable"),
+            rows,
+            float_fmt="{:.3f}",
+        ),
+    )
+
+    by_stripe = {name: rest for name, *rest in rows}
+    # Short stripes fit inside single passes: minimal uncovered time.
+    assert by_stripe["120s stripes"][2] < 0.1
+    # 10-minute stripes exceed the max pass duration: gaps appear.
+    assert by_stripe["600s stripes"][2] > by_stripe["120s stripes"][2]
+    # A long video must hop across several satellites regardless.
+    assert by_stripe["300s stripes"][1] >= 5

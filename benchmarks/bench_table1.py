@@ -1,0 +1,27 @@
+"""Benchmark: regenerate paper Table 1.
+
+Average distance to the best CDN and median minimum RTT per country, for
+terrestrial and Starlink clients, side by side with the paper's numbers.
+"""
+
+from repro.experiments import table1
+from repro.experiments.common import DEFAULT_SEED
+
+
+def test_table1(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: table1.run(seed=DEFAULT_SEED, tests_per_city=30),
+        rounds=1,
+        iterations=1,
+    )
+    emit("Table 1: distance to best CDN / minRTT", table1.format_result(result))
+
+    rows = {r.iso2: r for r in result.rows}
+    # Headline shape assertions (the benchmark fails if the shape breaks).
+    assert rows["MZ"].starlink_distance_km > 7500
+    assert rows["MZ"].starlink_min_rtt_ms > 100
+    assert rows["ES"].starlink_min_rtt_ms < 45
+    assert all(
+        rows[c].starlink_min_rtt_ms > rows[c].terrestrial_min_rtt_ms
+        for c in ("GT", "MZ", "CY", "SZ", "HT", "KE", "ZM", "RW", "LT")
+    )

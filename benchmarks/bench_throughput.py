@@ -1,0 +1,50 @@
+"""Ablation: the latency penalty as a *download speed* penalty.
+
+AIM's headline metrics are speeds; TCP ties single-flow throughput to RTT
+(Mathis bound), so Starlink's PoP detours also shrink downloads. This bench
+reports median download speeds per country class from the synthetic AIM
+dataset.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.experiments.common import DEFAULT_SEED, aim_dataset
+from repro.measurements.aim import STARLINK, TERRESTRIAL
+
+COUNTRIES = ("US", "DE", "ES", "JP", "MZ", "KE", "ZM", "NG")
+
+
+def _sweep():
+    dataset = aim_dataset(DEFAULT_SEED)
+    rows = []
+    for iso2 in COUNTRIES:
+        star = [t.download_mbps for t in dataset.filter(isp=STARLINK, iso2=iso2)]
+        terr = [t.download_mbps for t in dataset.filter(isp=TERRESTRIAL, iso2=iso2)]
+        rows.append(
+            (
+                iso2,
+                float(np.median(star)) if star else float("nan"),
+                float(np.median(terr)) if terr else float("nan"),
+            )
+        )
+    return rows
+
+
+def test_throughput_sweep(benchmark, emit):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    emit(
+        "Ablation: median download speed (Mbps) from synthetic AIM",
+        format_table(("country", "Starlink", "terrestrial"), rows),
+    )
+
+    by_country = {iso2: (star, terr) for iso2, star, terr in rows}
+    # PoP-local countries: Starlink downloads are healthy (>50 Mbps).
+    for iso2 in ("US", "DE", "ES", "JP"):
+        assert by_country[iso2][0] > 50.0
+    # ISL-served countries: the RTT penalty halves Starlink throughput
+    # relative to the PoP-local countries.
+    for iso2 in ("MZ", "KE", "ZM"):
+        assert by_country[iso2][0] < by_country["ES"][0] / 2.0
+    # Nigeria: Starlink out-downloads the congested terrestrial access.
+    assert by_country["NG"][0] > by_country["NG"][1]

@@ -1,0 +1,22 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one paper artifact and prints the rows/series the
+paper reports (bypassing pytest capture, so the output appears inline with
+the benchmark table).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print text to the real terminal, outside pytest's capture."""
+
+    def _emit(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n================ {title} ================")
+            print(body)
+
+    return _emit

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Content bubbles: geo-predictive prefetch on a moving satellite (paper §5).
+
+A satellite's footprint sweeps from Europe over Africa to South America every
+orbit. This example builds a regionally skewed catalog ("a Boca Juniors game
+is popular in Argentina"), drives one satellite cache across the regions,
+and compares the content-bubble policy (prefetch on approach + content-aware
+eviction) against a plain reactive LRU.
+
+Run:  python examples/content_bubbles.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.cdn.content import build_catalog
+from repro.spacecdn.bubbles import RegionalPopularity, simulate_orbit_requests
+
+REGIONS = ("europe", "africa", "south-america")
+
+
+def main() -> None:
+    catalog = build_catalog(
+        np.random.default_rng(0),
+        600,
+        regions=REGIONS,
+        global_fraction=0.2,
+        kind_weights={"web": 0.5, "news": 0.5},
+    )
+    popularity = RegionalPopularity(catalog=catalog, seed=1)
+
+    print("top-3 objects per region (what the bubble prefetches):")
+    for region in REGIONS:
+        print(f"  {region}: {popularity.top_objects(region, 3)}")
+
+    # Three full orbits across the three regions.
+    sequence = list(REGIONS) * 3
+    rows = []
+    for cache_mb in (1, 3, 6):
+        result = simulate_orbit_requests(
+            catalog=catalog,
+            popularity=popularity,
+            region_sequence=sequence,
+            requests_per_region=200,
+            cache_bytes=cache_mb * 1_000_000,
+        )
+        rows.append(
+            (
+                f"{cache_mb} MB cache",
+                result.bubble_hit_ratio,
+                result.plain_hit_ratio,
+                result.improvement,
+            )
+        )
+
+    print("\nhit ratios over", len(sequence) * 200, "requests:")
+    print(format_table(
+        ("cache size", "content bubbles", "plain LRU", "gain"),
+        rows,
+        float_fmt="{:.3f}",
+    ))
+    print("\nthe bubble cache starts each region pass warm; the LRU relearns "
+          "the region's catalog from misses every single orbit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Multi-shell fleets and access-satellite churn.
+
+1. Combine Shell 1 with the 70-degree Shell 3 and a VLEO shell and compare
+   coverage at different latitudes (Shell 1 alone cannot serve 64 N).
+2. Measure how often a fixed terminal's serving satellite changes — the
+   churn the striping and prediction layers are built to absorb.
+
+Run:  python examples/fleet_and_churn.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.churn import access_churn
+from repro.orbits.elements import starlink_shell1, starlink_shell3, starlink_vleo
+from repro.orbits.multi import MultiShellConstellation
+from repro.orbits.walker import build_walker_delta
+
+
+def main() -> None:
+    fleet = MultiShellConstellation(
+        shells=(starlink_shell1(), starlink_shell3(), starlink_vleo())
+    )
+    print(f"fleet: {len(fleet)} satellites across {len(fleet.shells)} shells\n")
+
+    rows = []
+    for name, lat in (("equator", 0.0), ("mid-latitude", 45.0), ("far north", 64.0)):
+        counts = fleet.coverage_by_shell(GeoPoint(lat, 10.0), t_s=0.0)
+        rows.append((f"{name} ({lat:.0f}N)", *counts.values()))
+    print(format_table(
+        ("location", *(s.name for s in fleet.shells)), rows
+    ))
+
+    sat, visible = fleet.nearest_visible(GeoPoint(64.0, 10.0), 0.0)
+    print(f"\nat 64N the nearest usable satellite is {sat.shell_name} "
+          f"#{sat.local_index} at {visible.slant_range_km:.0f} km")
+
+    # Churn for a Shell-1 terminal on the equator.
+    constellation = build_walker_delta(starlink_shell1())
+    report = access_churn(
+        constellation, GeoPoint(0.0, 0.0, 0.0), duration_s=1800.0
+    )
+    print(f"\naccess churn over 30 min (15 s scheduling intervals):")
+    print(f"  satellite switches:  {report.switches}")
+    print(f"  distinct satellites: {report.distinct_satellites}")
+    print(f"  mean dwell:          {report.mean_dwell_s:.0f} s "
+          f"({report.switch_rate_per_minute:.2f} switches/min)")
+    print("\nevery switch invalidates 'content is on the satellite overhead' —"
+          "\nwhich is why stripes ride passes and caches prefetch predictively.")
+
+
+if __name__ == "__main__":
+    main()

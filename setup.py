@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 660 editable
+installs (``pip install -e .``) cannot build an editable wheel. This shim
+enables the legacy path: ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

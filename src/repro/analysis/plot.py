@@ -1,0 +1,82 @@
+"""ASCII plots for benchmark output: CDFs and histograms in a terminal.
+
+The paper's figures are CDFs and box plots; these helpers render the same
+series as monospace charts so ``pytest benchmarks/`` output is directly
+comparable with the paper's figures without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import Cdf
+from repro.errors import ConfigurationError
+
+
+def ascii_cdf(
+    series: dict[str, Cdf],
+    width: int = 70,
+    height: int = 16,
+    x_max: float | None = None,
+    x_label: str = "latency ms",
+) -> str:
+    """Render named CDFs as overlaid ASCII step curves.
+
+    Each series gets a marker character (its name's first letter); where
+    curves overlap the later series wins the cell. The x axis spans
+    [0, x_max] (default: the 99th percentile of the pooled samples).
+    """
+    if not series:
+        raise ConfigurationError("no series to plot")
+    if width < 20 or height < 5:
+        raise ConfigurationError("plot must be at least 20x5")
+
+    if x_max is None:
+        pooled = np.concatenate([cdf.sorted_values for cdf in series.values()])
+        x_max = float(np.percentile(pooled, 99))
+    if x_max <= 0:
+        raise ConfigurationError(f"x_max must be positive, got {x_max}")
+
+    grid = [[" "] * width for _ in range(height)]
+    markers: list[tuple[str, str]] = []
+    for name, cdf in series.items():
+        marker = name[0]
+        markers.append((marker, name))
+        for column in range(width):
+            x = (column + 0.5) / width * x_max
+            probability = cdf.at(x)
+            row = height - 1 - int(probability * (height - 1))
+            grid[row][column] = marker
+
+    lines = []
+    for i, row in enumerate(grid):
+        probability = 1.0 - i / (height - 1)
+        lines.append(f"{probability:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      0 {' ' * (width - 18)}{x_max:8.1f} {x_label}")
+    legend = "  ".join(f"{marker}={name}" for marker, name in markers)
+    lines.append(f"      {legend}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    samples: list[float] | np.ndarray,
+    bins: int = 12,
+    width: int = 50,
+    value_fmt: str = "{:8.1f}",
+) -> str:
+    """Render a horizontal-bar histogram of a sample."""
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("no samples to plot")
+    if bins < 2 or width < 5:
+        raise ConfigurationError("need at least 2 bins and width 5")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = counts.max()
+    lines = []
+    for count, low, high in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * (0 if peak == 0 else int(round(count / peak * width)))
+        lines.append(
+            f"{value_fmt.format(low)}..{value_fmt.format(high)} |{bar} {count}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are formatted with ``float_fmt``; everything else with ``str``.
+    """
+    if not headers:
+        raise ConfigurationError("headers cannot be empty")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def format_cdf_points(
+    series: dict[str, list[tuple[float, float]]], value_label: str = "latency_ms"
+) -> str:
+    """Render named CDF series as aligned quantile rows.
+
+    Each series is a list of (value, cumulative-probability) points, as
+    produced by :meth:`repro.analysis.stats.Cdf.points`.
+    """
+    if not series:
+        raise ConfigurationError("no CDF series supplied")
+    lines = []
+    for name, points in series.items():
+        lines.append(f"# {name} ({value_label} @ quantile)")
+        for value, q in points:
+            lines.append(f"  q={q:0.2f}  {value:8.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""CDN substrate: content, cache policies, servers, anycast mapping, geo-blocking."""
+
+from repro.cdn.content import ContentObject, Catalog, build_catalog
+from repro.cdn.cache import (
+    CacheStats,
+    Cache,
+    LruCache,
+    LfuCache,
+    FifoCache,
+    TtlCache,
+)
+from repro.cdn.server import CdnServer, OriginServer, ServeResult
+from repro.cdn.anycast import nearest_site, best_site_by_latency
+from repro.cdn.mapping import (
+    ClientMapping,
+    GeodesicMapping,
+    PopProximityMapping,
+    MeasuredLatencyMapping,
+)
+from repro.cdn.geoblock import GeoBlockPolicy, BlockDecision
+from repro.cdn.hierarchy import CdnHierarchy, HierarchyServeResult
+
+__all__ = [
+    "ContentObject",
+    "Catalog",
+    "build_catalog",
+    "CacheStats",
+    "Cache",
+    "LruCache",
+    "LfuCache",
+    "FifoCache",
+    "TtlCache",
+    "CdnServer",
+    "OriginServer",
+    "ServeResult",
+    "nearest_site",
+    "best_site_by_latency",
+    "ClientMapping",
+    "GeodesicMapping",
+    "PopProximityMapping",
+    "MeasuredLatencyMapping",
+    "GeoBlockPolicy",
+    "BlockDecision",
+    "CdnHierarchy",
+    "HierarchyServeResult",
+]

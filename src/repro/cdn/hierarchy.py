@@ -1,0 +1,130 @@
+"""Two-tier CDN hierarchy: edges -> regional parents -> origin (paper §2).
+
+"A content delivery network is a hierarchy of geo-distributed servers";
+misses at the edge fill from a regional parent cache before falling back to
+the origin, which is what keeps WAN traffic low for terrestrial users — and
+what the PoP mis-mapping defeats for LSN users (their requests land at an
+edge whose *region* does not match their content interest, so the parent
+tier misses too).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdn.cache import Cache, LruCache
+from repro.cdn.content import ContentObject
+from repro.cdn.server import OriginServer
+from repro.constants import CDN_SERVER_THINK_TIME_MS, FIBER_SPEED_KM_S
+from repro.errors import ConfigurationError, DatasetError
+from repro.geo.coordinates import great_circle_km
+from repro.geo.datasets import CdnSite, country_by_iso2
+
+
+@dataclass(frozen=True)
+class HierarchyServeResult:
+    """Outcome of one request through the hierarchy."""
+
+    object_id: str
+    level: str  # "edge", "parent", or "origin"
+    latency_ms: float
+    """Latency added behind the edge (think times + fill RTTs); the
+    client-to-edge RTT is the caller's path model's business."""
+
+
+@dataclass
+class CdnHierarchy:
+    """Edge caches grouped under regional parent caches over one origin."""
+
+    origin: OriginServer
+    edge_cache_bytes: int = 10**8
+    parent_cache_bytes: int = 10**10
+    think_time_ms: float = CDN_SERVER_THINK_TIME_MS
+
+    _edges: dict[str, Cache] = field(default_factory=dict, repr=False)
+    _parents: dict[str, Cache] = field(default_factory=dict, repr=False)
+    _edge_sites: dict[str, CdnSite] = field(default_factory=dict, repr=False)
+    stats: dict[str, int] = field(
+        default_factory=lambda: {"edge": 0, "parent": 0, "origin": 0}
+    )
+
+    def __post_init__(self) -> None:
+        if self.edge_cache_bytes <= 0 or self.parent_cache_bytes <= 0:
+            raise ConfigurationError("cache capacities must be positive")
+
+    def add_edge(self, site: CdnSite) -> None:
+        """Register an edge site (its parent is its gazetteer region)."""
+        if site.name in self._edges:
+            raise ConfigurationError(f"edge {site.name!r} already registered")
+        self._edges[site.name] = LruCache(self.edge_cache_bytes)
+        self._edge_sites[site.name] = site
+        region = self.region_of(site)
+        if region not in self._parents:
+            self._parents[region] = LruCache(self.parent_cache_bytes)
+
+    @staticmethod
+    def region_of(site: CdnSite) -> str:
+        """The parent region an edge site belongs to."""
+        return country_by_iso2(site.iso2).region
+
+    def edge_names(self) -> list[str]:
+        return sorted(self._edges)
+
+    def _parent_fill_rtt_ms(self, site: CdnSite) -> float:
+        """RTT of an edge fetching from its regional parent (~1500 km fiber)."""
+        return 2.0 * (1500.0 * 1.4 / FIBER_SPEED_KM_S * 1000.0) + self.think_time_ms
+
+    def _origin_fill_rtt_ms(self, site: CdnSite) -> float:
+        distance = great_circle_km(site.location, self.origin.location)
+        return 2.0 * (distance * 1.5 / FIBER_SPEED_KM_S * 1000.0) + self.origin.think_time_ms
+
+    def serve(self, edge_name: str, object_id: str) -> HierarchyServeResult:
+        """Serve one request arriving at the named edge.
+
+        Misses fill downwards and populate every level on the way back up
+        (standard hierarchical caching).
+        """
+        edge = self._edges.get(edge_name)
+        if edge is None:
+            raise DatasetError(f"unknown edge: {edge_name!r}")
+        site = self._edge_sites[edge_name]
+        parent = self._parents[self.region_of(site)]
+
+        if edge.get(object_id) is not None:
+            self.stats["edge"] += 1
+            return HierarchyServeResult(object_id, "edge", self.think_time_ms)
+
+        if parent.get(object_id) is not None:
+            self.stats["parent"] += 1
+            self._insert(edge, self.origin.fetch(object_id))
+            return HierarchyServeResult(
+                object_id,
+                "parent",
+                self.think_time_ms + self._parent_fill_rtt_ms(site),
+            )
+
+        obj = self.origin.fetch(object_id)  # raises ContentNotFoundError
+        self.stats["origin"] += 1
+        self._insert(parent, obj)
+        self._insert(edge, obj)
+        return HierarchyServeResult(
+            object_id,
+            "origin",
+            self.think_time_ms
+            + self._parent_fill_rtt_ms(site)
+            + self._origin_fill_rtt_ms(site),
+        )
+
+    @staticmethod
+    def _insert(cache: Cache, obj: ContentObject) -> None:
+        if obj.size_bytes <= cache.capacity_bytes:
+            cache.put(obj)
+
+    def wan_offload_ratio(self) -> float:
+        """Fraction of requests that never reached the origin — the metric
+        CDNs exist to maximise (paper §2: 'reduce bandwidth costs by
+        minimizing WAN traffic')."""
+        total = sum(self.stats.values())
+        if total == 0:
+            return 0.0
+        return 1.0 - self.stats["origin"] / total

@@ -1,0 +1,89 @@
+"""Client-to-server mapping policies.
+
+Three policies model how CDNs map users to caches (paper §2):
+
+* :class:`GeodesicMapping` — idealised IP-geolocation: nearest site to the
+  *client* (what terrestrial users effectively get);
+* :class:`PopProximityMapping` — what anycast actually does to Starlink
+  users: nearest site to their *PoP*, since that is where their address
+  appears to be;
+* :class:`MeasuredLatencyMapping` — the paper's methodology: probe several
+  candidate sites and pick the median-latency winner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from statistics import median
+from typing import Callable, Sequence
+
+from repro.cdn.anycast import nearest_site
+from repro.errors import ConfigurationError
+from repro.geo.coordinates import great_circle_km
+from repro.geo.datasets import CdnSite, City, assigned_pop
+
+
+class ClientMapping(ABC):
+    """Strategy interface: which CDN site serves a given client city?"""
+
+    @abstractmethod
+    def site_for(self, city: City, sites: Sequence[CdnSite]) -> CdnSite:
+        """Choose the serving site for a client in ``city``."""
+
+
+@dataclass
+class GeodesicMapping(ClientMapping):
+    """Nearest site to the client's location — the terrestrial ideal."""
+
+    def site_for(self, city: City, sites: Sequence[CdnSite]) -> CdnSite:
+        return nearest_site(city.location, sites)
+
+
+@dataclass
+class PopProximityMapping(ClientMapping):
+    """Nearest site to the client's assigned Starlink PoP.
+
+    This reproduces the structural mis-mapping: a Maputo subscriber's public
+    address lives in Frankfurt, so anycast sends them to Frankfurt's cache.
+    """
+
+    def site_for(self, city: City, sites: Sequence[CdnSite]) -> CdnSite:
+        pop = assigned_pop(city.iso2, city.lat_deg, city.lon_deg)
+        return nearest_site(pop.location, sites)
+
+
+@dataclass
+class MeasuredLatencyMapping(ClientMapping):
+    """Probe-based mapping: sample RTTs per site, pick the lowest median.
+
+    ``rtt_sampler(city, site)`` returns one RTT sample; ``probes`` samples
+    are drawn per candidate. Candidates can be pre-filtered to the ``k``
+    geodesically nearest sites (to the client or the PoP) for speed.
+    """
+
+    rtt_sampler: Callable[[City, CdnSite], float]
+    probes: int = 5
+    candidate_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.probes < 1:
+            raise ConfigurationError(f"probes must be >= 1, got {self.probes}")
+        if self.candidate_limit is not None and self.candidate_limit < 1:
+            raise ConfigurationError("candidate_limit must be >= 1 when set")
+
+    def site_for(self, city: City, sites: Sequence[CdnSite]) -> CdnSite:
+        if not sites:
+            raise ConfigurationError("empty CDN site list")
+        candidates = list(sites)
+        if self.candidate_limit is not None:
+            candidates.sort(key=lambda s: great_circle_km(city.location, s.location))
+            candidates = candidates[: self.candidate_limit]
+        best_site = candidates[0]
+        best_median = float("inf")
+        for site in candidates:
+            samples = [self.rtt_sampler(city, site) for _ in range(self.probes)]
+            med = median(samples)
+            if med < best_median:
+                best_site, best_median = site, med
+        return best_site

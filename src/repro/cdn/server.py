@@ -1,0 +1,98 @@
+"""CDN edge servers and origin servers.
+
+A :class:`CdnServer` fronts one anycast site with a cache; misses are filled
+from an :class:`OriginServer` over the WAN, which is exactly the costly path
+the paper says LSN users trigger disproportionately often (their mapped cache
+rarely holds their region's content).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdn.cache import Cache, LruCache
+from repro.cdn.content import Catalog, ContentObject
+from repro.constants import CDN_SERVER_THINK_TIME_MS, FIBER_SPEED_KM_S
+from repro.errors import ContentNotFoundError
+from repro.geo.coordinates import GeoPoint, great_circle_km
+from repro.geo.datasets import CdnSite
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one request at a CDN server."""
+
+    object_id: str
+    hit: bool
+    server_latency_ms: float
+    """Latency added at/behind the server: think time, plus origin fetch on miss."""
+    origin_distance_km: float = 0.0
+
+
+@dataclass
+class OriginServer:
+    """The authoritative store holding the full catalog."""
+
+    catalog: Catalog
+    location: GeoPoint
+    think_time_ms: float = 10.0
+
+    def fetch(self, object_id: str) -> ContentObject:
+        """Return an object or raise :class:`ContentNotFoundError`."""
+        return self.catalog.get(object_id)
+
+    def fetch_latency_ms(self, from_point: GeoPoint) -> float:
+        """One-way WAN latency from ``from_point`` to this origin plus think time."""
+        distance = great_circle_km(from_point, self.location)
+        # Origin fetches cross the WAN over fiber with moderate circuity.
+        return distance * 1.5 / FIBER_SPEED_KM_S * 1000.0 + self.think_time_ms
+
+
+@dataclass
+class CdnServer:
+    """One CDN edge: a cache at an anycast site, backed by an origin."""
+
+    site: CdnSite
+    origin: OriginServer
+    cache: Cache = field(default_factory=lambda: LruCache(capacity_bytes=10**9))
+    think_time_ms: float = CDN_SERVER_THINK_TIME_MS
+
+    @property
+    def name(self) -> str:
+        return self.site.name
+
+    @property
+    def location(self) -> GeoPoint:
+        return self.site.location
+
+    def serve(self, object_id: str) -> ServeResult:
+        """Serve one request: cache hit, or origin fill + cache insert.
+
+        Raises :class:`ContentNotFoundError` if the origin lacks the object.
+        """
+        cached = self.cache.get(object_id)
+        if cached is not None:
+            return ServeResult(
+                object_id=object_id, hit=True, server_latency_ms=self.think_time_ms
+            )
+        obj = self.origin.fetch(object_id)  # propagate ContentNotFoundError
+        origin_rtt = 2.0 * self.origin.fetch_latency_ms(self.location)
+        self.cache.put(obj)
+        return ServeResult(
+            object_id=object_id,
+            hit=False,
+            server_latency_ms=self.think_time_ms + origin_rtt,
+            origin_distance_km=great_circle_km(self.location, self.origin.location),
+        )
+
+    def warm(self, object_ids: list[str]) -> int:
+        """Pre-populate the cache; returns how many objects were loaded."""
+        loaded = 0
+        for object_id in object_ids:
+            try:
+                obj = self.origin.fetch(object_id)
+            except ContentNotFoundError:
+                continue
+            self.cache.put(obj)
+            loaded += 1
+        return loaded

@@ -1,0 +1,142 @@
+"""Command-line interface: regenerate paper artifacts and export datasets.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table1 --seed 7 --tests-per-city 30
+    python -m repro run figure7 --users 20 --epochs 5
+    python -m repro aim --seed 7 --tests-per-city 30 --format csv --out aim.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.errors import ReproError
+
+_EXPERIMENTS: dict[str, str] = {
+    "table1": "Table 1: distance to best CDN / minRTT per country",
+    "figure2": "Fig. 2: per-country median RTT delta (Starlink - terrestrial)",
+    "figure3": "Fig. 3: Maputo case study",
+    "figure4": "Fig. 4: HTTP response-time difference per country",
+    "figure5": "Fig. 5: first contentful paint (DE, GB)",
+    "figure7": "Fig. 7: SpaceCDN latency CDFs vs AIM baselines",
+    "figure8": "Fig. 8: duty-cycled SpaceCDN latency",
+    "geoblocking": "§2 claim: home-content geo-blocking prevalence over Starlink",
+}
+
+
+def _run_experiment(name: str, args: argparse.Namespace) -> str:
+    from repro.experiments import (  # local import keeps --help fast
+        figure2,
+        figure3,
+        figure4,
+        figure5,
+        figure7,
+        figure8,
+        geoblocking,
+        table1,
+    )
+
+    modules = {
+        "table1": lambda: table1.format_result(
+            table1.run(seed=args.seed, tests_per_city=args.tests_per_city)
+        ),
+        "figure2": lambda: figure2.format_result(
+            figure2.run(seed=args.seed, tests_per_city=args.tests_per_city)
+        ),
+        "figure3": lambda: figure3.format_result(
+            figure3.run(seed=args.seed, samples_per_site=args.samples)
+        ),
+        "figure4": lambda: figure4.format_result(
+            figure4.run(seed=args.seed, rounds=args.rounds)
+        ),
+        "figure5": lambda: figure5.format_result(
+            figure5.run(seed=args.seed, rounds=args.rounds)
+        ),
+        "figure7": lambda: figure7.format_result(
+            figure7.run(seed=args.seed, users_per_epoch=args.users, num_epochs=args.epochs)
+        ),
+        "figure8": lambda: figure8.format_result(
+            figure8.run(seed=args.seed, users_per_epoch=args.users, num_epochs=args.epochs)
+        ),
+        "geoblocking": lambda: geoblocking.format_result(geoblocking.run()),
+    }
+    runner: Callable[[], str] | None = modules.get(name)
+    if runner is None:
+        raise ReproError(
+            f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}"
+        )
+    return runner()
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for name, description in _EXPERIMENTS.items():
+        print(f"{name:10s} {description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    print(_run_experiment(args.experiment, args))
+    return 0
+
+
+def _cmd_aim(args: argparse.Namespace) -> int:
+    from repro.measurements.aim import AimGenerator
+    from repro.measurements.export import write_aim_csv, write_aim_json
+
+    dataset = AimGenerator(seed=args.seed).generate(tests_per_city=args.tests_per_city)
+    if args.format == "csv":
+        count = write_aim_csv(dataset, args.out)
+    else:
+        count = write_aim_json(dataset, args.out)
+    print(f"wrote {count} speed tests to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SpaceCDN reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list reproducible experiments")
+    list_cmd.set_defaults(func=_cmd_list)
+
+    run_cmd = sub.add_parser("run", help="run one experiment and print its rows")
+    run_cmd.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    run_cmd.add_argument("--seed", type=int, default=7)
+    run_cmd.add_argument("--tests-per-city", type=int, default=30)
+    run_cmd.add_argument("--samples", type=int, default=25)
+    run_cmd.add_argument("--rounds", type=int, default=3)
+    run_cmd.add_argument("--users", type=int, default=20)
+    run_cmd.add_argument("--epochs", type=int, default=5)
+    run_cmd.set_defaults(func=_cmd_run)
+
+    aim_cmd = sub.add_parser("aim", help="generate and export the synthetic AIM dataset")
+    aim_cmd.add_argument("--seed", type=int, default=7)
+    aim_cmd.add_argument("--tests-per-city", type=int, default=30)
+    aim_cmd.add_argument("--format", choices=("csv", "json"), default="csv")
+    aim_cmd.add_argument("--out", required=True)
+    aim_cmd.set_defaults(func=_cmd_aim)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

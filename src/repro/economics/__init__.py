@@ -1,0 +1,18 @@
+"""Economics of SpaceCDNs (paper §5): delivery cost and MetaCDN sharing."""
+
+from repro.economics.costs import (
+    SpaceCdnCostParams,
+    TerrestrialCostParams,
+    DeliveryCostModel,
+    DeliveryCostBreakdown,
+)
+from repro.economics.metacdn import MetaCdnOperator, TenantAllocation
+
+__all__ = [
+    "SpaceCdnCostParams",
+    "TerrestrialCostParams",
+    "DeliveryCostModel",
+    "DeliveryCostBreakdown",
+    "MetaCdnOperator",
+    "TenantAllocation",
+]

@@ -1,0 +1,206 @@
+"""Delivery cost model: SpaceCDN vs terrestrial CDN vs origin-only (§5).
+
+The paper observes that SpaceCDN benefits concentrate in regions that are
+*not* lucrative for traditional operators, and sketches a MetaCDN model
+where the LSN monetises its caches. This module turns that sketch into a
+parameterised per-GB cost model:
+
+* **SpaceCDN**: amortised satellite payload cost spread over delivered
+  traffic, plus downlink spectrum opportunity cost — cheap only above a
+  utilisation floor;
+* **terrestrial CDN**: edge egress plus a WAN fill share, plus — the key
+  term for remote regions — the cost of *reaching* the edge over
+  under-provisioned transit;
+* **origin-only**: WAN transit the whole way.
+
+Defaults are order-of-magnitude engineering estimates (launch ~$1500/kg,
+~$300k payload amortised over 5 years), chosen so the *comparisons* are
+meaningful; every number is a parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SpaceCdnCostParams:
+    """Cost structure of running a caching payload on one satellite."""
+
+    payload_capex_usd: float = 300_000.0
+    """Incremental hardware + launch mass for the caching payload."""
+
+    payload_lifetime_years: float = 5.0
+    """LEO satellite service life (atmospheric drag bounds it)."""
+
+    payload_power_opex_usd_per_year: float = 6_000.0
+    """Share of solar/battery budget and ops attributable to caching."""
+
+    downlink_opportunity_usd_per_gb: float = 0.002
+    """Spectrum/beam capacity the cache's traffic displaces."""
+
+    isl_transit_usd_per_gb: float = 0.001
+    """Optical ISL capacity used when content is fetched from a neighbour."""
+
+    def __post_init__(self) -> None:
+        if self.payload_lifetime_years <= 0:
+            raise ConfigurationError("payload lifetime must be positive")
+        if min(
+            self.payload_capex_usd,
+            self.payload_power_opex_usd_per_year,
+            self.downlink_opportunity_usd_per_gb,
+            self.isl_transit_usd_per_gb,
+        ) < 0:
+            raise ConfigurationError("cost parameters must be non-negative")
+
+    @property
+    def amortised_usd_per_year(self) -> float:
+        """Capex spread over the payload lifetime, plus yearly opex."""
+        return (
+            self.payload_capex_usd / self.payload_lifetime_years
+            + self.payload_power_opex_usd_per_year
+        )
+
+
+@dataclass(frozen=True)
+class TerrestrialCostParams:
+    """Cost structure of classical CDN delivery to a region."""
+
+    edge_egress_usd_per_gb: float = 0.004
+    """Serving a cached byte from a local edge."""
+
+    wan_fill_usd_per_gb: float = 0.03
+    """Filling an edge cache over the WAN (amortised per served GB via
+    the miss ratio)."""
+
+    remote_transit_usd_per_gb: float = 0.08
+    """Reaching users over under-provisioned transit when the nearest
+    edge is far away (the Africa inter-country detour problem)."""
+
+    origin_egress_usd_per_gb: float = 0.05
+    """Serving straight from origin over the WAN (no CDN at all)."""
+
+    def __post_init__(self) -> None:
+        if min(
+            self.edge_egress_usd_per_gb,
+            self.wan_fill_usd_per_gb,
+            self.remote_transit_usd_per_gb,
+            self.origin_egress_usd_per_gb,
+        ) < 0:
+            raise ConfigurationError("cost parameters must be non-negative")
+
+
+@dataclass(frozen=True)
+class DeliveryCostBreakdown:
+    """Per-GB delivery cost of the three strategies for one demand profile."""
+
+    spacecdn_usd_per_gb: float
+    terrestrial_cdn_usd_per_gb: float
+    origin_only_usd_per_gb: float
+
+    def cheapest(self) -> str:
+        """Which strategy wins: 'spacecdn', 'terrestrial-cdn' or 'origin'."""
+        costs = {
+            "spacecdn": self.spacecdn_usd_per_gb,
+            "terrestrial-cdn": self.terrestrial_cdn_usd_per_gb,
+            "origin": self.origin_only_usd_per_gb,
+        }
+        return min(costs, key=costs.__getitem__)
+
+
+@dataclass
+class DeliveryCostModel:
+    """Compares delivery strategies for a regional demand profile."""
+
+    space: SpaceCdnCostParams = SpaceCdnCostParams()
+    terrestrial: TerrestrialCostParams = TerrestrialCostParams()
+    satellites_serving_region: int = 40
+    """Satellites whose amortised cost the region's traffic must carry
+    (footprint share of the fleet)."""
+
+    def __post_init__(self) -> None:
+        if self.satellites_serving_region < 1:
+            raise ConfigurationError("need at least one serving satellite")
+
+    def spacecdn_usd_per_gb(
+        self,
+        demand_gb_per_month: float,
+        space_hit_ratio: float = 0.9,
+        mean_isl_hops: float = 2.0,
+    ) -> float:
+        """Per-GB cost of SpaceCDN delivery at a given utilisation."""
+        if demand_gb_per_month <= 0:
+            raise ConfigurationError("demand must be positive")
+        if not 0.0 <= space_hit_ratio <= 1.0:
+            raise ConfigurationError("hit ratio must be in [0, 1]")
+        if mean_isl_hops < 0:
+            raise ConfigurationError("mean hops must be non-negative")
+        amortised_month = (
+            self.space.amortised_usd_per_year * self.satellites_serving_region / 12.0
+        )
+        fixed = amortised_month / demand_gb_per_month
+        variable = (
+            self.space.downlink_opportunity_usd_per_gb
+            + mean_isl_hops * self.space.isl_transit_usd_per_gb
+        )
+        # Misses fall back to the ground and pay the terrestrial WAN price.
+        miss = (1.0 - space_hit_ratio) * self.terrestrial.wan_fill_usd_per_gb
+        return fixed + variable + miss
+
+    def terrestrial_cdn_usd_per_gb(
+        self, edge_is_local: bool, cache_hit_ratio: float = 0.9
+    ) -> float:
+        """Per-GB cost of classical CDN delivery to a region."""
+        if not 0.0 <= cache_hit_ratio <= 1.0:
+            raise ConfigurationError("hit ratio must be in [0, 1]")
+        serve = self.terrestrial.edge_egress_usd_per_gb
+        if not edge_is_local:
+            serve += self.terrestrial.remote_transit_usd_per_gb
+        fill = (1.0 - cache_hit_ratio) * self.terrestrial.wan_fill_usd_per_gb
+        return serve + fill
+
+    def breakdown(
+        self,
+        demand_gb_per_month: float,
+        edge_is_local: bool,
+        space_hit_ratio: float = 0.9,
+        mean_isl_hops: float = 2.0,
+    ) -> DeliveryCostBreakdown:
+        """All three strategies for one demand profile."""
+        return DeliveryCostBreakdown(
+            spacecdn_usd_per_gb=self.spacecdn_usd_per_gb(
+                demand_gb_per_month, space_hit_ratio, mean_isl_hops
+            ),
+            terrestrial_cdn_usd_per_gb=self.terrestrial_cdn_usd_per_gb(
+                edge_is_local
+            ),
+            origin_only_usd_per_gb=self.terrestrial.origin_egress_usd_per_gb
+            + (0.0 if edge_is_local else self.terrestrial.remote_transit_usd_per_gb),
+        )
+
+    def breakeven_demand_gb_per_month(
+        self,
+        edge_is_local: bool,
+        space_hit_ratio: float = 0.9,
+        mean_isl_hops: float = 2.0,
+    ) -> float:
+        """Monthly demand above which SpaceCDN beats the terrestrial CDN.
+
+        Returns ``inf`` when SpaceCDN's variable cost alone already exceeds
+        the terrestrial price (it can never win at any volume).
+        """
+        terrestrial = self.terrestrial_cdn_usd_per_gb(edge_is_local)
+        variable = (
+            self.space.downlink_opportunity_usd_per_gb
+            + mean_isl_hops * self.space.isl_transit_usd_per_gb
+            + (1.0 - space_hit_ratio) * self.terrestrial.wan_fill_usd_per_gb
+        )
+        margin = terrestrial - variable
+        if margin <= 0.0:
+            return float("inf")
+        amortised_month = (
+            self.space.amortised_usd_per_year * self.satellites_serving_region / 12.0
+        )
+        return amortised_month / margin

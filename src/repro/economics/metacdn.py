@@ -1,0 +1,105 @@
+"""MetaCDN-style multi-tenant operation of satellite caches (§5).
+
+The paper envisions the LSN owning the on-orbit caches and renting slices
+to content customers (streaming services, news networks), "possibly
+partnering with existing local terrestrial CDN operators". The
+:class:`MetaCdnOperator` allocates cache capacity across tenants
+proportionally to what they commit to pay, prices delivery with a margin
+over cost, and reports per-tenant economics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.economics.costs import DeliveryCostModel
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TenantAllocation:
+    """One tenant's slice of the fleet cache."""
+
+    tenant: str
+    committed_usd_per_month: float
+    allocated_bytes: int
+    price_usd_per_gb: float
+
+
+@dataclass
+class MetaCdnOperator:
+    """Allocates fleet cache capacity and prices delivery for tenants."""
+
+    total_cache_bytes: int
+    cost_model: DeliveryCostModel = field(default_factory=DeliveryCostModel)
+    margin: float = 0.35
+    """Operator margin over delivery cost."""
+
+    _commitments: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.total_cache_bytes <= 0:
+            raise ConfigurationError("total cache capacity must be positive")
+        if self.margin < 0:
+            raise ConfigurationError("margin must be non-negative")
+
+    def commit(self, tenant: str, usd_per_month: float) -> None:
+        """Register (or update) a tenant's monthly commitment."""
+        if usd_per_month <= 0:
+            raise ConfigurationError("commitment must be positive")
+        self._commitments[tenant] = usd_per_month
+
+    def withdraw(self, tenant: str) -> None:
+        """Remove a tenant; raises if unknown."""
+        if tenant not in self._commitments:
+            raise ConfigurationError(f"unknown tenant: {tenant!r}")
+        del self._commitments[tenant]
+
+    def tenants(self) -> list[str]:
+        return sorted(self._commitments)
+
+    def delivery_price_usd_per_gb(
+        self, demand_gb_per_month: float, space_hit_ratio: float = 0.9
+    ) -> float:
+        """What the operator charges per delivered GB (cost plus margin)."""
+        cost = self.cost_model.spacecdn_usd_per_gb(
+            demand_gb_per_month, space_hit_ratio
+        )
+        return cost * (1.0 + self.margin)
+
+    def allocations(self, demand_gb_per_month: float) -> list[TenantAllocation]:
+        """Capacity split proportional to commitments.
+
+        Larger commitments buy proportionally more cache bytes; the price
+        per GB is uniform (the fleet's marginal delivery cost plus margin),
+        which keeps the scheme incentive-compatible for small tenants.
+        """
+        if not self._commitments:
+            return []
+        total_commit = sum(self._commitments.values())
+        price = self.delivery_price_usd_per_gb(demand_gb_per_month)
+        return [
+            TenantAllocation(
+                tenant=tenant,
+                committed_usd_per_month=commit,
+                allocated_bytes=int(self.total_cache_bytes * commit / total_commit),
+                price_usd_per_gb=price,
+            )
+            for tenant, commit in sorted(self._commitments.items())
+        ]
+
+    def monthly_revenue_usd(self, delivered_gb_by_tenant: dict[str, float]) -> float:
+        """Revenue from delivered traffic at the uniform price.
+
+        Raises for traffic attributed to tenants without a commitment.
+        """
+        unknown = set(delivered_gb_by_tenant) - set(self._commitments)
+        if unknown:
+            raise ConfigurationError(f"traffic from unknown tenants: {sorted(unknown)}")
+        total_gb = sum(delivered_gb_by_tenant.values())
+        if total_gb < 0:
+            raise ConfigurationError("delivered traffic cannot be negative")
+        if total_gb == 0:
+            return 0.0
+        price = self.delivery_price_usd_per_gb(total_gb)
+        return price * total_gb

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A constellation, network, or experiment was configured inconsistently."""
+
+
+class GeodesyError(ReproError):
+    """Invalid geographic input (latitude/longitude out of range, etc.)."""
+
+
+class RoutingError(ReproError):
+    """No route exists between two endpoints in the current topology."""
+
+
+class VisibilityError(ReproError):
+    """No satellite is visible from the requested location at the given time."""
+
+
+class CacheError(ReproError):
+    """Invalid cache operation (e.g. object larger than the cache)."""
+
+
+class ContentNotFoundError(ReproError):
+    """Requested content is not present in any reachable cache or origin."""
+
+
+class DatasetError(ReproError):
+    """A lookup into the embedded gazetteer failed."""
+
+
+class PlacementError(ReproError):
+    """A replica-placement request could not be satisfied."""

@@ -1,0 +1,31 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Each module exposes ``run(...) -> <Result dataclass>`` and
+``format_result(result) -> str``; the benchmarks call ``run`` and print the
+formatted rows so every paper artifact can be regenerated from the command
+line.
+"""
+
+from repro.experiments import (  # noqa: F401
+    common,
+    table1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+    geoblocking,
+)
+
+__all__ = [
+    "common",
+    "table1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure7",
+    "figure8",
+    "geoblocking",
+]

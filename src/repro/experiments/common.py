@@ -1,0 +1,47 @@
+"""Shared experiment infrastructure.
+
+Caches the expensive shared artifacts (the synthetic AIM dataset, Shell-1
+snapshots) so the per-figure modules and the benchmark suite don't rebuild
+them repeatedly within one process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.measurements.aim import AimDataset, AimGenerator
+from repro.orbits.elements import starlink_shell1
+from repro.orbits.walker import Constellation, build_walker_delta
+from repro.simulation.sampler import EpochSampler
+from repro.topology.graph import SnapshotGraph, build_snapshot
+
+DEFAULT_SEED = 7
+DEFAULT_TESTS_PER_CITY = 30
+
+
+@lru_cache(maxsize=2)
+def shell1_constellation() -> Constellation:
+    """The Starlink Shell 1 constellation (72 x 22 at 550 km)."""
+    return build_walker_delta(starlink_shell1())
+
+
+@lru_cache(maxsize=16)
+def shell1_snapshot(t_s: float) -> SnapshotGraph:
+    """A cached ISL snapshot graph of Shell 1 at time ``t_s``."""
+    return build_snapshot(shell1_constellation(), t_s)
+
+
+@lru_cache(maxsize=4)
+def aim_dataset(
+    seed: int = DEFAULT_SEED, tests_per_city: int = DEFAULT_TESTS_PER_CITY
+) -> AimDataset:
+    """The cached synthetic AIM dataset."""
+    return AimGenerator(seed=seed).generate(tests_per_city=tests_per_city)
+
+
+def shell1_epochs(num_epochs: int, seed: int = DEFAULT_SEED) -> list[float]:
+    """Stratified epochs over one Shell-1 orbital period."""
+    sampler = EpochSampler(
+        period_s=starlink_shell1().period_s, num_epochs=num_epochs, seed=seed
+    )
+    return sampler.epochs()

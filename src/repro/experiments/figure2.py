@@ -1,0 +1,63 @@
+"""Figure 2: per-country delta in median RTT to the optimal CDN.
+
+The paper's world map shows (Starlink - terrestrial) median RTT per country:
+positive almost everywhere (terrestrial faster, typically ~50 ms), and
+120-150 ms in African countries served through Frankfurt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import delta_by_group
+from repro.analysis.tables import format_table
+from repro.experiments.common import DEFAULT_SEED, DEFAULT_TESTS_PER_CITY, aim_dataset
+from repro.geo.datasets import country_by_iso2
+from repro.measurements.aim import STARLINK, TERRESTRIAL
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Per-country median RTT delta (Starlink minus terrestrial), ms."""
+
+    deltas_ms: dict[str, float]
+
+    def countries_where_starlink_faster(self) -> list[str]:
+        return sorted(iso2 for iso2, d in self.deltas_ms.items() if d < 0)
+
+    def worst_countries(self, count: int = 5) -> list[tuple[str, float]]:
+        """The countries with the largest Starlink penalty."""
+        ranked = sorted(self.deltas_ms.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:count]
+
+    def median_delta_ms(self) -> float:
+        """Median penalty across countries measured on both ISPs."""
+        from statistics import median
+
+        return float(median(self.deltas_ms.values()))
+
+
+def run(
+    seed: int = DEFAULT_SEED, tests_per_city: int = DEFAULT_TESTS_PER_CITY
+) -> Figure2Result:
+    """Regenerate the Fig. 2 per-country deltas."""
+    dataset = aim_dataset(seed, tests_per_city)
+    deltas = delta_by_group(
+        dataset.rtts_by_country(STARLINK), dataset.rtts_by_country(TERRESTRIAL)
+    )
+    return Figure2Result(deltas_ms=deltas)
+
+
+def format_result(result: Figure2Result) -> str:
+    rows = [
+        (country_by_iso2(iso2).name, iso2, delta)
+        for iso2, delta in sorted(
+            result.deltas_ms.items(), key=lambda kv: kv[1], reverse=True
+        )
+    ]
+    table = format_table(("Country", "ISO", "delta median RTT (ms)"), rows)
+    summary = (
+        f"\nmedian delta across countries: {result.median_delta_ms():.1f} ms"
+        f"\nStarlink faster in: {result.countries_where_starlink_faster() or 'none'}"
+    )
+    return table + summary

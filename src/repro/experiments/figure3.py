@@ -1,0 +1,93 @@
+"""Figure 3: the Maputo case study.
+
+Median RTT from Maputo, Mozambique to each reachable Cloudflare site over
+(a) Starlink — optimal is Frankfurt at ~160 ms, African sites exceed 250 ms
+— and (b) a terrestrial ISP — optimal is Maputo itself at ~20 ms, with
+Johannesburg at ~70 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+from repro.experiments.common import DEFAULT_SEED
+from repro.geo.datasets import cdn_site_by_name, city_by_name
+from repro.measurements.aim import STARLINK, TERRESTRIAL, AimGenerator
+
+# The CDN sites visible in the paper's Fig. 3 maps.
+CASE_STUDY_SITES: tuple[str, ...] = (
+    "Frankfurt",
+    "Lisbon",
+    "Madrid",
+    "Marseille",
+    "Maputo",
+    "Johannesburg",
+    "Cape Town",
+    "Durban",
+    "Nairobi",
+)
+
+# Paper's headline medians (ms) for comparison in EXPERIMENTS.md.
+PAPER_HEADLINES = {
+    (STARLINK, "Frankfurt"): 160.0,
+    (STARLINK, "Cape Town"): 250.0,
+    (TERRESTRIAL, "Maputo"): 20.0,
+    (TERRESTRIAL, "Johannesburg"): 70.0,
+}
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Median RTT (ms) per CDN site for each ISP class from Maputo."""
+
+    starlink_ms: dict[str, float]
+    terrestrial_ms: dict[str, float]
+
+    def optimal_site(self, isp: str) -> tuple[str, float]:
+        """The lowest-median-RTT site for one ISP class."""
+        table = self.starlink_ms if isp == STARLINK else self.terrestrial_ms
+        name = min(table, key=table.__getitem__)
+        return name, table[name]
+
+
+def run(seed: int = DEFAULT_SEED, samples_per_site: int = 25) -> Figure3Result:
+    """Probe every case-study site from Maputo over both ISP classes."""
+    if samples_per_site < 1:
+        raise ConfigurationError("samples_per_site must be >= 1")
+    generator = AimGenerator(seed=seed)
+    maputo = city_by_name("Maputo")
+
+    def medians_for(isp: str) -> dict[str, float]:
+        result: dict[str, float] = {}
+        for site_name in CASE_STUDY_SITES:
+            site = cdn_site_by_name(site_name)
+            samples = [
+                generator.sample_rtt_ms(maputo, site, isp)
+                for _ in range(samples_per_site)
+            ]
+            result[site_name] = float(median(samples))
+        return result
+
+    return Figure3Result(
+        starlink_ms=medians_for(STARLINK), terrestrial_ms=medians_for(TERRESTRIAL)
+    )
+
+
+def format_result(result: Figure3Result) -> str:
+    rows = [
+        (site, result.starlink_ms[site], result.terrestrial_ms[site])
+        for site in CASE_STUDY_SITES
+    ]
+    table = format_table(
+        ("CDN site", "Starlink median RTT (ms)", "Terrestrial median RTT (ms)"), rows
+    )
+    star_best = result.optimal_site(STARLINK)
+    terr_best = result.optimal_site(TERRESTRIAL)
+    return (
+        table
+        + f"\noptimal over Starlink: {star_best[0]} at {star_best[1]:.1f} ms"
+        + f"\noptimal over terrestrial: {terr_best[0]} at {terr_best[1]:.1f} ms"
+    )

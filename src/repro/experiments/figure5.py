@@ -1,0 +1,72 @@
+"""Figure 5: first-contentful-paint distributions in Germany and the UK.
+
+Both countries host local Starlink PoPs — the best case — yet the paper
+still finds Starlink median FCP ~200 ms higher than terrestrial, because
+every round trip of the render-critical path pays the access-latency gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import DistributionSummary, summarize
+from repro.analysis.tables import format_table
+from repro.errors import ConfigurationError
+from repro.experiments.common import DEFAULT_SEED
+from repro.geo.datasets import cities_in_country
+from repro.measurements.aim import STARLINK, TERRESTRIAL
+from repro.measurements.netmet import NetMetProbe
+
+FIGURE5_COUNTRIES: tuple[str, ...] = ("DE", "GB")
+
+
+@dataclass(frozen=True)
+class Figure5Result:
+    """FCP distributions per (country, ISP class)."""
+
+    fcp_summaries: dict[tuple[str, str], DistributionSummary]
+
+    def median_gap_ms(self, iso2: str) -> float:
+        """Starlink median FCP minus terrestrial median FCP for a country."""
+        return (
+            self.fcp_summaries[(iso2, STARLINK)].median
+            - self.fcp_summaries[(iso2, TERRESTRIAL)].median
+        )
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    rounds: int = 3,
+    countries: tuple[str, ...] = FIGURE5_COUNTRIES,
+) -> Figure5Result:
+    """Collect FCP samples for both ISP classes in the Fig. 5 countries."""
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    probe = NetMetProbe(seed=seed)
+    summaries: dict[tuple[str, str], DistributionSummary] = {}
+    for iso2 in countries:
+        cities = cities_in_country(iso2)
+        if not cities:
+            raise ConfigurationError(f"no gazetteer city in {iso2}")
+        for isp in (STARLINK, TERRESTRIAL):
+            samples: list[float] = []
+            for city in cities:
+                samples.extend(r.fcp_ms for r in probe.browse(city, isp, rounds))
+            summaries[(iso2, isp)] = summarize(samples)
+    return Figure5Result(fcp_summaries=summaries)
+
+
+def format_result(result: Figure5Result) -> str:
+    rows = []
+    for (iso2, isp), summary in sorted(result.fcp_summaries.items()):
+        rows.append(
+            (iso2, isp, summary.p25, summary.median, summary.p75, summary.p95)
+        )
+    table = format_table(
+        ("Country", "ISP", "p25 FCP (ms)", "median", "p75", "p95"), rows
+    )
+    gaps = "\n".join(
+        f"{iso2}: Starlink median FCP higher by {result.median_gap_ms(iso2):.0f} ms"
+        for iso2 in sorted({k[0] for k in result.fcp_summaries})
+    )
+    return table + "\n" + gaps

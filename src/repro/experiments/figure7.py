@@ -1,0 +1,129 @@
+"""Figure 7: SpaceCDN latency CDFs vs measured Starlink/terrestrial baselines.
+
+For content cached on the access satellite ("1st/Sat") or reachable within
+3, 5 or 10 ISL hops, the paper's xeoverse simulation shows: <= 5 hops is
+competitive with terrestrial-ISP CDN access (and beats it in the tail), and
+even 10 hops roughly halves today's Starlink-to-ground-CDN latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import Cdf
+from repro.analysis.tables import format_table
+from repro.constants import CDN_SERVER_THINK_TIME_MS
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    aim_dataset,
+    shell1_constellation,
+    shell1_epochs,
+    shell1_snapshot,
+)
+from repro.measurements.aim import STARLINK, TERRESTRIAL
+from repro.orbits.visibility import nearest_visible_satellite
+from repro.simulation.sampler import seeded_rng, user_sample_points
+from repro.topology.graph import access_latency_ms
+from repro.topology.routing import latency_by_hop_count
+
+HOP_COUNTS: tuple[int, ...] = (0, 3, 5, 10)
+"""0 = content on the access satellite itself (the paper's "1st/Sat")."""
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """RTT samples per curve of the figure."""
+
+    spacecdn_rtts_ms: dict[int, list[float]]
+    starlink_rtts_ms: list[float]
+    terrestrial_rtts_ms: list[float]
+
+    def cdf(self, curve: int | str) -> Cdf:
+        """CDF for a hop-count curve or the 'starlink'/'terrestrial' baselines."""
+        if curve == STARLINK:
+            return Cdf.from_samples(self.starlink_rtts_ms)
+        if curve == TERRESTRIAL:
+            return Cdf.from_samples(self.terrestrial_rtts_ms)
+        return Cdf.from_samples(self.spacecdn_rtts_ms[int(curve)])
+
+
+def spacecdn_rtt_samples(
+    users_per_epoch: int = 20,
+    num_epochs: int = 5,
+    hop_counts: tuple[int, ...] = HOP_COUNTS,
+    seed: int = DEFAULT_SEED,
+) -> dict[int, list[float]]:
+    """Sample SpaceCDN RTTs over user locations and constellation epochs.
+
+    For each (user, epoch): access the nearest visible satellite, then for
+    every requested hop count n take the cheapest satellite exactly n ISL
+    hops away; RTT doubles the one-way path and adds the cache think time.
+    """
+    if users_per_epoch < 1 or num_epochs < 1:
+        raise ConfigurationError("users_per_epoch and num_epochs must be >= 1")
+    constellation = shell1_constellation()
+    rng = seeded_rng(seed, 0x717)
+    samples: dict[int, list[float]] = {n: [] for n in hop_counts}
+    max_hops = max(hop_counts)
+
+    for epoch in shell1_epochs(num_epochs, seed):
+        snapshot = shell1_snapshot(epoch)
+        for user in user_sample_points(rng, users_per_epoch):
+            access = nearest_visible_satellite(constellation, user, epoch)
+            access_ms = access_latency_ms(access.slant_range_km)
+            ladder = latency_by_hop_count(snapshot, access.index, max_hops)
+            for n in hop_counts:
+                isl_ms = ladder.get(n)
+                if isl_ms is None:
+                    continue  # no satellite at exactly n hops (never for +Grid)
+                one_way = access_ms + isl_ms
+                samples[n].append(2.0 * one_way + CDN_SERVER_THINK_TIME_MS)
+    return samples
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    users_per_epoch: int = 20,
+    num_epochs: int = 5,
+) -> Figure7Result:
+    """Regenerate every curve of Fig. 7."""
+    dataset = aim_dataset(seed)
+    return Figure7Result(
+        spacecdn_rtts_ms=spacecdn_rtt_samples(users_per_epoch, num_epochs, seed=seed),
+        starlink_rtts_ms=dataset.all_rtts_pooled(STARLINK),
+        terrestrial_rtts_ms=dataset.all_rtts_pooled(TERRESTRIAL),
+    )
+
+
+def format_result(result: Figure7Result) -> str:
+    rows = []
+    curves: list[tuple[str, Cdf]] = [
+        (f"{n} ISL hops" if n else "1st/Sat", result.cdf(n)) for n in HOP_COUNTS
+    ]
+    curves.append(("Starlink (AIM)", result.cdf(STARLINK)))
+    curves.append(("Terrestrial (AIM)", result.cdf(TERRESTRIAL)))
+    for name, cdf in curves:
+        rows.append(
+            (
+                name,
+                cdf.quantile(0.25),
+                cdf.quantile(0.5),
+                cdf.quantile(0.75),
+                cdf.quantile(0.95),
+            )
+        )
+    table = format_table(("curve", "p25 RTT (ms)", "median", "p75", "p95"), rows)
+
+    five_hop_median = result.cdf(5).quantile(0.5)
+    terrestrial_median = result.cdf(TERRESTRIAL).quantile(0.5)
+    ten_hop_median = result.cdf(10).quantile(0.5)
+    starlink_median = result.cdf(STARLINK).quantile(0.5)
+    return table + (
+        f"\n5-hop SpaceCDN median {five_hop_median:.1f} ms vs terrestrial median "
+        f"{terrestrial_median:.1f} ms"
+        f"\n10-hop SpaceCDN median {ten_hop_median:.1f} ms vs Starlink median "
+        f"{starlink_median:.1f} ms"
+    )

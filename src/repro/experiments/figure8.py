@@ -1,0 +1,100 @@
+"""Figure 8: SpaceCDN latency under duty-cycled caches.
+
+With only x% of satellites caching at a time (the rest relaying), the paper
+finds SpaceCDN stays competitive with the terrestrial-ISP median once
+x >= 50%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.stats import DistributionSummary, median_or_nan, summarize
+from repro.analysis.tables import format_table
+from repro.constants import CDN_SERVER_THINK_TIME_MS
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    aim_dataset,
+    shell1_constellation,
+    shell1_epochs,
+    shell1_snapshot,
+)
+from repro.measurements.aim import TERRESTRIAL
+from repro.simulation.sampler import seeded_rng, user_sample_points
+from repro.spacecdn.dutycycle import DutyCycleLatencyModel, DutyCycleScheduler
+
+CACHE_FRACTIONS: tuple[float, ...] = (0.3, 0.5, 0.8)
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """RTT distributions per cache fraction, plus the terrestrial reference."""
+
+    rtt_summaries: dict[float, DistributionSummary]
+    rtt_samples_ms: dict[float, list[float]]
+    terrestrial_median_ms: float
+
+    COMPETITIVE_TOLERANCE = 1.15
+    """A fraction is "competitive" when its median RTT is within 15% of the
+    terrestrial median (the paper's Fig. 8 judges this visually: the
+    terrestrial line passes through the 50% box)."""
+
+    def competitive_fractions(self) -> list[float]:
+        """Cache fractions whose median RTT is competitive with terrestrial."""
+        threshold = self.terrestrial_median_ms * self.COMPETITIVE_TOLERANCE
+        return sorted(
+            f for f, s in self.rtt_summaries.items() if s.median <= threshold
+        )
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    users_per_epoch: int = 20,
+    num_epochs: int = 4,
+    fractions: tuple[float, ...] = CACHE_FRACTIONS,
+) -> Figure8Result:
+    """Regenerate Fig. 8: latency vs duty-cycle cache fraction."""
+    if users_per_epoch < 1 or num_epochs < 1:
+        raise ConfigurationError("users_per_epoch and num_epochs must be >= 1")
+    constellation = shell1_constellation()
+    rng = seeded_rng(seed, 0xF18)
+
+    samples: dict[float, list[float]] = {f: [] for f in fractions}
+    for epoch in shell1_epochs(num_epochs, seed):
+        snapshot = shell1_snapshot(epoch)
+        users = user_sample_points(rng, users_per_epoch)
+        for fraction in fractions:
+            model = DutyCycleLatencyModel(
+                snapshot=snapshot,
+                scheduler=DutyCycleScheduler(
+                    total_satellites=len(constellation),
+                    cache_fraction=fraction,
+                    seed=seed,
+                ),
+            )
+            for user in users:
+                one_way = model.one_way_ms(user)
+                samples[fraction].append(2.0 * one_way + CDN_SERVER_THINK_TIME_MS)
+
+    dataset = aim_dataset(seed)
+    terrestrial_median = median_or_nan(dataset.all_rtts(TERRESTRIAL))
+    return Figure8Result(
+        rtt_summaries={f: summarize(s) for f, s in samples.items()},
+        rtt_samples_ms=samples,
+        terrestrial_median_ms=terrestrial_median,
+    )
+
+
+def format_result(result: Figure8Result) -> str:
+    rows = []
+    for fraction in sorted(result.rtt_summaries):
+        s = result.rtt_summaries[fraction]
+        rows.append((f"{fraction:.0%}", s.p25, s.median, s.p75, s.p95))
+    table = format_table(
+        ("caching sats", "p25 RTT (ms)", "median", "p75", "p95"), rows
+    )
+    return table + (
+        f"\nterrestrial median reference: {result.terrestrial_median_ms:.1f} ms"
+        f"\ncompetitive fractions: {[f'{f:.0%}' for f in result.competitive_fractions()]}"
+    )

@@ -1,0 +1,136 @@
+"""Country-level attributes: region, terrestrial infrastructure tier, coverage.
+
+The *infrastructure tier* drives terrestrial route circuity (see
+``repro.constants``): tier 1 regions have dense fiber and IXPs, tier 3 regions
+route large detours (the paper cites Formoso et al. on Africa's inter-country
+latencies). Starlink coverage flags which countries contribute Starlink
+measurements (55 countries in the paper's AIM cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class Country:
+    """Static per-country attributes used by the latency models."""
+
+    iso2: str
+    name: str
+    region: str
+    infra_tier: int
+    starlink: bool
+
+
+# (iso2, name, region, infra_tier, starlink_covered)
+_COUNTRIES: tuple[tuple[str, str, str, int, bool], ...] = (
+    # North America
+    ("US", "United States", "north-america", 1, True),
+    ("CA", "Canada", "north-america", 1, True),
+    ("MX", "Mexico", "north-america", 2, True),
+    # Central America & Caribbean
+    ("GT", "Guatemala", "central-america", 3, True),
+    ("HN", "Honduras", "central-america", 3, True),
+    ("SV", "El Salvador", "central-america", 3, True),
+    ("CR", "Costa Rica", "central-america", 2, True),
+    ("PA", "Panama", "central-america", 2, True),
+    ("HT", "Haiti", "caribbean", 3, True),
+    ("DO", "Dominican Republic", "caribbean", 2, True),
+    ("JM", "Jamaica", "caribbean", 2, True),
+    # South America
+    ("BR", "Brazil", "south-america", 2, True),
+    ("AR", "Argentina", "south-america", 2, True),
+    ("CL", "Chile", "south-america", 2, True),
+    ("PE", "Peru", "south-america", 2, True),
+    ("CO", "Colombia", "south-america", 2, True),
+    ("EC", "Ecuador", "south-america", 3, True),
+    ("PY", "Paraguay", "south-america", 3, True),
+    ("UY", "Uruguay", "south-america", 2, True),
+    ("BO", "Bolivia", "south-america", 3, False),
+    # Western & Northern Europe
+    ("GB", "United Kingdom", "europe", 1, True),
+    ("DE", "Germany", "europe", 1, True),
+    ("FR", "France", "europe", 1, True),
+    ("ES", "Spain", "europe", 1, True),
+    ("PT", "Portugal", "europe", 1, True),
+    ("IT", "Italy", "europe", 1, True),
+    ("NL", "Netherlands", "europe", 1, True),
+    ("BE", "Belgium", "europe", 1, True),
+    ("CH", "Switzerland", "europe", 1, True),
+    ("AT", "Austria", "europe", 1, True),
+    ("IE", "Ireland", "europe", 1, True),
+    ("SE", "Sweden", "europe", 1, True),
+    ("NO", "Norway", "europe", 1, True),
+    ("FI", "Finland", "europe", 1, True),
+    ("DK", "Denmark", "europe", 1, True),
+    # Eastern Europe & Baltics
+    ("PL", "Poland", "europe", 2, True),
+    ("LT", "Lithuania", "europe", 2, True),
+    ("LV", "Latvia", "europe", 2, True),
+    ("EE", "Estonia", "europe", 2, True),
+    ("RO", "Romania", "europe", 2, True),
+    ("BG", "Bulgaria", "europe", 2, True),
+    ("GR", "Greece", "europe", 2, True),
+    ("CY", "Cyprus", "europe", 2, True),
+    ("HR", "Croatia", "europe", 2, True),
+    ("UA", "Ukraine", "europe", 2, True),
+    # Africa
+    ("NG", "Nigeria", "africa", 3, True),
+    ("KE", "Kenya", "africa", 3, True),
+    ("MZ", "Mozambique", "africa", 3, True),
+    ("ZM", "Zambia", "africa", 3, True),
+    ("RW", "Rwanda", "africa", 3, True),
+    ("SZ", "Eswatini", "africa", 3, True),
+    ("MW", "Malawi", "africa", 3, True),
+    ("BJ", "Benin", "africa", 3, True),
+    ("ZA", "South Africa", "africa", 2, False),
+    ("EG", "Egypt", "africa", 2, False),
+    ("GH", "Ghana", "africa", 3, False),
+    ("TZ", "Tanzania", "africa", 3, False),
+    ("BW", "Botswana", "africa", 3, True),
+    ("MG", "Madagascar", "africa", 3, True),
+    # Middle East & Asia
+    ("TR", "Turkey", "middle-east", 2, False),
+    ("IL", "Israel", "middle-east", 1, False),
+    ("AE", "United Arab Emirates", "middle-east", 1, False),
+    ("JP", "Japan", "asia", 1, True),
+    ("KR", "South Korea", "asia", 1, False),
+    ("SG", "Singapore", "asia", 1, False),
+    ("MY", "Malaysia", "asia", 2, True),
+    ("PH", "Philippines", "asia", 2, True),
+    ("ID", "Indonesia", "asia", 2, True),
+    ("IN", "India", "asia", 2, False),
+    ("TH", "Thailand", "asia", 2, False),
+    ("VN", "Vietnam", "asia", 2, False),
+    ("MN", "Mongolia", "asia", 3, True),
+    # Oceania
+    ("AU", "Australia", "oceania", 1, True),
+    ("NZ", "New Zealand", "oceania", 1, True),
+    ("FJ", "Fiji", "oceania", 3, True),
+    ("PG", "Papua New Guinea", "oceania", 3, False),
+)
+
+
+@lru_cache(maxsize=1)
+def all_countries() -> tuple[Country, ...]:
+    """Every country in the gazetteer."""
+    return tuple(Country(*row) for row in _COUNTRIES)
+
+
+@lru_cache(maxsize=None)
+def country_by_iso2(iso2: str) -> Country:
+    """Look a country up by its ISO-3166 alpha-2 code."""
+    for country in all_countries():
+        if country.iso2 == iso2:
+            return country
+    raise DatasetError(f"unknown country code: {iso2!r}")
+
+
+@lru_cache(maxsize=1)
+def starlink_covered_countries() -> tuple[Country, ...]:
+    """Countries with Starlink consumer coverage in the gazetteer."""
+    return tuple(c for c in all_countries() if c.starlink)

@@ -1,0 +1,96 @@
+"""Dataset export/import (the paper publishes its measurement artifacts).
+
+Serialises the synthetic AIM dataset and NetMet records to CSV and JSON so
+downstream analyses can run outside this package, and loads them back for
+round-trip workflows.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, fields
+from pathlib import Path
+
+from repro.errors import DatasetError
+from repro.measurements.aim import AimDataset, SpeedTest
+from repro.measurements.netmet import PageFetchMetrics
+
+_SPEEDTEST_FIELDS = [f.name for f in fields(SpeedTest)]
+_NETMET_FIELDS = [f.name for f in fields(PageFetchMetrics)]
+_SPEEDTEST_FLOATS = {
+    "latency_ms",
+    "loaded_latency_ms",
+    "cdn_distance_km",
+    "download_mbps",
+    "upload_mbps",
+}
+
+
+def write_aim_csv(dataset: AimDataset, path: str | Path) -> int:
+    """Write the dataset as CSV; returns the number of rows written."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_SPEEDTEST_FIELDS)
+        writer.writeheader()
+        for test in dataset.tests:
+            writer.writerow(asdict(test))
+    return len(dataset.tests)
+
+
+def read_aim_csv(path: str | Path) -> AimDataset:
+    """Load a dataset previously written by :func:`write_aim_csv`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    dataset = AimDataset()
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames != _SPEEDTEST_FIELDS:
+            raise DatasetError(
+                f"unexpected CSV header in {path}: {reader.fieldnames}"
+            )
+        for row in reader:
+            for key in _SPEEDTEST_FLOATS:
+                row[key] = float(row[key])
+            dataset.tests.append(SpeedTest(**row))
+    return dataset
+
+
+def write_aim_json(dataset: AimDataset, path: str | Path) -> int:
+    """Write the dataset as a JSON array; returns the row count."""
+    path = Path(path)
+    payload = [asdict(test) for test in dataset.tests]
+    path.write_text(json.dumps(payload, indent=1))
+    return len(payload)
+
+
+def read_aim_json(path: str | Path) -> AimDataset:
+    """Load a dataset previously written by :func:`write_aim_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"no such file: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DatasetError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(payload, list):
+        raise DatasetError(f"expected a JSON array in {path}")
+    dataset = AimDataset()
+    for row in payload:
+        missing = set(_SPEEDTEST_FIELDS) - set(row)
+        if missing:
+            raise DatasetError(f"record missing fields {sorted(missing)} in {path}")
+        dataset.tests.append(SpeedTest(**{k: row[k] for k in _SPEEDTEST_FIELDS}))
+    return dataset
+
+
+def write_netmet_csv(records: list[PageFetchMetrics], path: str | Path) -> int:
+    """Write NetMet page-fetch records as CSV; returns the row count."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_NETMET_FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(asdict(record))
+    return len(records)

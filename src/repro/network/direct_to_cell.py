@@ -1,0 +1,86 @@
+"""Direct-to-cell access links (paper §5).
+
+Starlink's direct-to-cell service talks to unmodified phones: tiny antennas
+and strict power budgets mean the link only closes at high elevation, with
+far lower per-beam capacity and longer scheduling cycles than a Dishy. For
+SpaceCDN this is a *stronger* motivation — a phone can reach the overhead
+satellite but every terrestrial detour hurts twice as much.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import SPEED_OF_LIGHT_KM_S, STARLINK_SHELL1_ALTITUDE_KM
+from repro.errors import ConfigurationError
+from repro.network.access import slant_range_for_elevation_km
+
+DTC_MIN_ELEVATION_DEG = 40.0
+"""Phones need a much higher elevation mask than a phased-array dish."""
+
+DTC_SCHEDULING_DELAY_MS = 15.0
+"""Longer frame cycles: the beam sweeps many phones per cell."""
+
+DTC_PROCESSING_DELAY_MS = 3.0
+DTC_DOWNLINK_MBPS_PER_BEAM = 10.0
+"""Per-beam shared capacity (LTE-band, narrow spectrum)."""
+
+
+@dataclass(frozen=True)
+class DirectToCellAccess:
+    """Access-link profile for a direct-to-cell phone."""
+
+    altitude_km: float = STARLINK_SHELL1_ALTITUDE_KM
+    min_elevation_deg: float = DTC_MIN_ELEVATION_DEG
+    scheduling_delay_ms: float = DTC_SCHEDULING_DELAY_MS
+    processing_delay_ms: float = DTC_PROCESSING_DELAY_MS
+    beam_capacity_mbps: float = DTC_DOWNLINK_MBPS_PER_BEAM
+
+    def __post_init__(self) -> None:
+        if self.altitude_km <= 0:
+            raise ConfigurationError("altitude must be positive")
+        if not 0.0 <= self.min_elevation_deg < 90.0:
+            raise ConfigurationError("min elevation must be in [0, 90)")
+        if min(
+            self.scheduling_delay_ms, self.processing_delay_ms, self.beam_capacity_mbps
+        ) <= 0:
+            raise ConfigurationError("delays and capacity must be positive")
+
+    def one_way_ms(self, elevation_deg: float) -> float:
+        """One-way phone->satellite latency at a given elevation."""
+        if elevation_deg < self.min_elevation_deg:
+            raise ConfigurationError(
+                f"link does not close below {self.min_elevation_deg} deg "
+                f"(got {elevation_deg})"
+            )
+        slant = slant_range_for_elevation_km(elevation_deg, self.altitude_km)
+        return (
+            slant / SPEED_OF_LIGHT_KM_S * 1000.0
+            + self.scheduling_delay_ms
+            + self.processing_delay_ms
+        )
+
+    def floor_rtt_ms(self) -> float:
+        """Best-case phone RTT to the overhead satellite (zenith pass)."""
+        return 2.0 * self.one_way_ms(90.0)
+
+    def user_share_mbps(self, active_users_in_beam: int) -> float:
+        """Fair-share downlink per phone when a beam serves many users."""
+        if active_users_in_beam < 1:
+            raise ConfigurationError("need at least one active user")
+        return self.beam_capacity_mbps / active_users_in_beam
+
+
+def dtc_vs_dishy_rtt_penalty_ms() -> float:
+    """How much worse a phone's access RTT floor is than a Dishy's."""
+    from repro.constants import (
+        STARLINK_PROCESSING_DELAY_MS,
+        STARLINK_SCHEDULING_DELAY_MS,
+    )
+
+    dishy_floor = 2.0 * (
+        STARLINK_SHELL1_ALTITUDE_KM / SPEED_OF_LIGHT_KM_S * 1000.0
+        + STARLINK_SCHEDULING_DELAY_MS
+        + STARLINK_PROCESSING_DELAY_MS
+    )
+    return DirectToCellAccess().floor_rtt_ms() - dishy_floor

@@ -1,0 +1,106 @@
+"""TCP throughput model: what the latency penalty does to download speed.
+
+The AIM dataset's headline metrics are download/upload speeds, and TCP
+couples those to RTT: the Mathis model bounds steady-state throughput at
+``MSS / (RTT * sqrt(loss))``. A Starlink user parked behind a distant PoP
+pays the RTT penalty twice — once as latency, once as throughput.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+TCP_MSS_BYTES = 1460
+_MATHIS_CONSTANT = math.sqrt(1.5)
+
+# Residual loss rates by path class. Modern links are clean; what differs
+# is the exposure: long ISL+WAN paths cross more queues, and the Ku-band
+# link adds weather/handover loss.
+LOSS_RATE_TERRESTRIAL = {1: 2e-5, 2: 8e-5, 3: 4e-4}
+LOSS_RATE_STARLINK_BENT_PIPE = 2e-4
+LOSS_RATE_STARLINK_ISL = 5e-4
+
+SPEEDTEST_PARALLEL_FLOWS = 4
+"""Speed tests open several parallel connections; aggregate throughput
+scales roughly linearly until the link capacity binds."""
+
+
+def mathis_throughput_mbps(
+    rtt_ms: float, loss_rate: float, mss_bytes: int = TCP_MSS_BYTES
+) -> float:
+    """Steady-state TCP throughput bound (Mathis et al.).
+
+    ``throughput = (MSS / RTT) * C / sqrt(p)`` with C ~ sqrt(3/2).
+    """
+    if rtt_ms <= 0:
+        raise ConfigurationError(f"RTT must be positive, got {rtt_ms}")
+    if not 0.0 < loss_rate < 1.0:
+        raise ConfigurationError(f"loss rate must be in (0, 1), got {loss_rate}")
+    if mss_bytes <= 0:
+        raise ConfigurationError(f"MSS must be positive, got {mss_bytes}")
+    segments_per_s = _MATHIS_CONSTANT / (rtt_ms / 1000.0 * math.sqrt(loss_rate))
+    return segments_per_s * mss_bytes * 8.0 / 1e6
+
+
+def effective_download_mbps(
+    rtt_ms: float,
+    loss_rate: float,
+    link_capacity_mbps: float,
+    flows: int = SPEEDTEST_PARALLEL_FLOWS,
+) -> float:
+    """Achievable download speed: min(capacity, flows x Mathis bound)."""
+    if link_capacity_mbps <= 0:
+        raise ConfigurationError(
+            f"link capacity must be positive, got {link_capacity_mbps}"
+        )
+    if flows < 1:
+        raise ConfigurationError(f"flows must be >= 1, got {flows}")
+    return min(link_capacity_mbps, flows * mathis_throughput_mbps(rtt_ms, loss_rate))
+
+
+@dataclass(frozen=True)
+class ThroughputProfile:
+    """The throughput-relevant parameters of one path class."""
+
+    loss_rate: float
+    link_capacity_mbps: float
+
+    def download_mbps(self, rtt_ms: float) -> float:
+        """Single-flow download speed over this path at the given RTT."""
+        return effective_download_mbps(rtt_ms, self.loss_rate, self.link_capacity_mbps)
+
+
+def starlink_profile(uses_isl: bool, link_capacity_mbps: float = 200.0) -> ThroughputProfile:
+    """The Starlink path profile (ISL paths cross more loss points)."""
+    loss = LOSS_RATE_STARLINK_ISL if uses_isl else LOSS_RATE_STARLINK_BENT_PIPE
+    return ThroughputProfile(loss_rate=loss, link_capacity_mbps=link_capacity_mbps)
+
+
+def starlink_upload_profile(uses_isl: bool, link_capacity_mbps: float = 20.0) -> ThroughputProfile:
+    """Starlink uplink: the terminal's return channel is far narrower."""
+    loss = LOSS_RATE_STARLINK_ISL if uses_isl else LOSS_RATE_STARLINK_BENT_PIPE
+    return ThroughputProfile(loss_rate=loss, link_capacity_mbps=link_capacity_mbps)
+
+
+_TERRESTRIAL_UPLOAD_CAPACITY_MBPS = {1: 150.0, 2: 40.0, 3: 10.0}
+
+
+def terrestrial_profile(tier: int, link_capacity_mbps: float = 500.0) -> ThroughputProfile:
+    """The terrestrial path profile for an infrastructure tier."""
+    loss = LOSS_RATE_TERRESTRIAL.get(tier)
+    if loss is None:
+        raise ConfigurationError(f"unknown infrastructure tier: {tier}")
+    return ThroughputProfile(loss_rate=loss, link_capacity_mbps=link_capacity_mbps)
+
+
+def terrestrial_upload_profile(tier: int) -> ThroughputProfile:
+    """Terrestrial uplink: asymmetric access plans cap the return channel."""
+    capacity = _TERRESTRIAL_UPLOAD_CAPACITY_MBPS.get(tier)
+    if capacity is None:
+        raise ConfigurationError(f"unknown infrastructure tier: {tier}")
+    return ThroughputProfile(
+        loss_rate=LOSS_RATE_TERRESTRIAL[tier], link_capacity_mbps=capacity
+    )

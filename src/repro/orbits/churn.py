@@ -1,0 +1,92 @@
+"""Access-satellite churn: how often a terminal switches satellites.
+
+Starlink terminals are re-scheduled to (possibly) different satellites every
+15 seconds; even without re-scheduling, the serving satellite leaves the
+sky within minutes. Handover churn matters for SpaceCDN because every
+switch invalidates the "content is on the satellite overhead" assumption —
+the striping and system layers absorb it via ISLs and prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import MIN_ELEVATION_USER_DEG
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.visibility import nearest_visible_satellite
+from repro.orbits.walker import Constellation
+
+STARLINK_RESCHEDULE_INTERVAL_S = 15.0
+"""Starlink's scheduler reassigns terminal-satellite pairs every 15 s."""
+
+
+@dataclass(frozen=True)
+class ChurnReport:
+    """Access-satellite switching statistics for one terminal."""
+
+    observations: int
+    switches: int
+    distinct_satellites: int
+    mean_dwell_s: float
+    """Average continuous time on one satellite."""
+
+    @property
+    def switch_rate_per_minute(self) -> float:
+        if self.mean_dwell_s <= 0:
+            return float("inf")
+        return 60.0 / self.mean_dwell_s
+
+
+def access_churn(
+    constellation: Constellation,
+    terminal: GeoPoint,
+    duration_s: float,
+    interval_s: float = STARLINK_RESCHEDULE_INTERVAL_S,
+    min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+) -> ChurnReport:
+    """Track the nearest-satellite assignment over time and count switches.
+
+    Uses the nearest-visible policy at every scheduling interval; real
+    scheduling also balances load, which would only *increase* churn, so
+    this is a lower bound.
+    """
+    if duration_s <= 0 or interval_s <= 0:
+        raise ConfigurationError("duration and interval must be positive")
+
+    times = np.arange(0.0, duration_s, interval_s)
+    assignments: list[int] = []
+    for t in times:
+        try:
+            assignments.append(
+                nearest_visible_satellite(
+                    constellation, terminal, float(t), min_elevation_deg
+                ).index
+            )
+        except VisibilityError:
+            assignments.append(-1)  # outage sample
+
+    if all(a == -1 for a in assignments):
+        raise VisibilityError("terminal is never covered during the window")
+
+    switches = sum(
+        1 for prev, cur in zip(assignments, assignments[1:]) if prev != cur
+    )
+    dwells: list[float] = []
+    run = 1
+    for prev, cur in zip(assignments, assignments[1:]):
+        if cur == prev:
+            run += 1
+        else:
+            dwells.append(run * interval_s)
+            run = 1
+    dwells.append(run * interval_s)
+
+    return ChurnReport(
+        observations=len(assignments),
+        switches=switches,
+        distinct_satellites=len({a for a in assignments if a >= 0}),
+        mean_dwell_s=float(np.mean(dwells)),
+    )

@@ -1,0 +1,144 @@
+"""Multi-shell constellations: several Walker shells operated as one fleet.
+
+Real Starlink flies Shells 1-4 simultaneously (plus VLEO in Gen2 plans); a
+SpaceCDN would place content across the whole fleet. A
+:class:`MultiShellConstellation` owns one :class:`Constellation` per shell
+and exposes fleet-wide indexing: satellite ``i`` belongs to the shell whose
+index block contains ``i``.
+
+ISLs do not cross shells (different altitudes/planes make inter-shell
+optical links impractical); fleet-wide reachability goes through the ground
+or is simply "whichever shell's satellite is overhead".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import MIN_ELEVATION_USER_DEG
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.elements import ShellConfig
+from repro.orbits.visibility import VisibleSatellite, visible_satellites
+from repro.orbits.walker import Constellation, build_walker_delta
+
+
+@dataclass(frozen=True)
+class FleetSatellite:
+    """A fleet-wide satellite handle: which shell, and the index within it."""
+
+    shell_index: int
+    shell_name: str
+    local_index: int
+    fleet_index: int
+
+
+@dataclass
+class MultiShellConstellation:
+    """Several shells addressed through one fleet-wide index space."""
+
+    shells: tuple[ShellConfig, ...]
+    constellations: tuple[Constellation, ...] = field(init=False)
+    _offsets: tuple[int, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.shells:
+            raise ConfigurationError("need at least one shell")
+        names = [shell.name for shell in self.shells]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate shell names: {names}")
+        self.constellations = tuple(build_walker_delta(s) for s in self.shells)
+        offsets = []
+        total = 0
+        for shell in self.shells:
+            offsets.append(total)
+            total += shell.total_satellites
+        self._offsets = tuple(offsets)
+
+    def __len__(self) -> int:
+        return sum(shell.total_satellites for shell in self.shells)
+
+    def resolve(self, fleet_index: int) -> FleetSatellite:
+        """Map a fleet-wide index to its shell and local index."""
+        if not 0 <= fleet_index < len(self):
+            raise ConfigurationError(
+                f"fleet index {fleet_index} outside [0, {len(self)})"
+            )
+        for shell_index in reversed(range(len(self.shells))):
+            offset = self._offsets[shell_index]
+            if fleet_index >= offset:
+                return FleetSatellite(
+                    shell_index=shell_index,
+                    shell_name=self.shells[shell_index].name,
+                    local_index=fleet_index - offset,
+                    fleet_index=fleet_index,
+                )
+        raise AssertionError("unreachable")  # offsets always cover index 0
+
+    def fleet_index(self, shell_index: int, local_index: int) -> int:
+        """Map (shell, local index) to the fleet-wide index."""
+        if not 0 <= shell_index < len(self.shells):
+            raise ConfigurationError(f"shell index {shell_index} out of range")
+        shell = self.shells[shell_index]
+        if not 0 <= local_index < shell.total_satellites:
+            raise ConfigurationError(
+                f"local index {local_index} outside shell {shell.name!r}"
+            )
+        return self._offsets[shell_index] + local_index
+
+    def positions_ecef(self, t_s: float) -> np.ndarray:
+        """ECEF positions of the whole fleet, shape (N, 3)."""
+        return np.vstack(
+            [constellation.positions_ecef(t_s) for constellation in self.constellations]
+        )
+
+    def visible_satellites(
+        self,
+        point: GeoPoint,
+        t_s: float,
+        min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+    ) -> list[tuple[FleetSatellite, VisibleSatellite]]:
+        """Fleet-wide visibility, sorted by ascending slant range."""
+        hits: list[tuple[FleetSatellite, VisibleSatellite]] = []
+        for shell_index, constellation in enumerate(self.constellations):
+            for visible in visible_satellites(
+                constellation, point, t_s, min_elevation_deg
+            ):
+                fleet_sat = FleetSatellite(
+                    shell_index=shell_index,
+                    shell_name=self.shells[shell_index].name,
+                    local_index=visible.index,
+                    fleet_index=self.fleet_index(shell_index, visible.index),
+                )
+                hits.append((fleet_sat, visible))
+        hits.sort(key=lambda pair: pair[1].slant_range_km)
+        return hits
+
+    def nearest_visible(
+        self,
+        point: GeoPoint,
+        t_s: float,
+        min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+    ) -> tuple[FleetSatellite, VisibleSatellite]:
+        """The closest usable satellite across every shell."""
+        hits = self.visible_satellites(point, t_s, min_elevation_deg)
+        if not hits:
+            raise VisibilityError(
+                f"no satellite of any shell visible from "
+                f"({point.lat_deg:.2f}, {point.lon_deg:.2f})"
+            )
+        return hits[0]
+
+    def coverage_by_shell(
+        self,
+        point: GeoPoint,
+        t_s: float,
+        min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+    ) -> dict[str, int]:
+        """How many satellites of each shell currently serve a point."""
+        counts = {shell.name: 0 for shell in self.shells}
+        for fleet_sat, _ in self.visible_satellites(point, t_s, min_elevation_deg):
+            counts[fleet_sat.shell_name] += 1
+        return counts

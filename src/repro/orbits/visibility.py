@@ -1,0 +1,128 @@
+"""Satellite visibility from ground locations.
+
+A ground terminal can use a satellite only when it is above a minimum
+elevation angle (25 deg for Starlink user terminals, ~10 deg for gateway
+dishes). These routines compute, vectorised over the whole constellation,
+which satellites are usable from a point and at what slant range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import MIN_ELEVATION_USER_DEG
+from repro.errors import VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.walker import Constellation
+
+
+@dataclass(frozen=True)
+class VisibleSatellite:
+    """One satellite visible from a ground point at a given instant."""
+
+    index: int
+    elevation_deg: float
+    slant_range_km: float
+
+
+def _observer_arrays(point: GeoPoint) -> tuple[np.ndarray, float]:
+    ecef = point.to_ecef()
+    obs = np.array([ecef.x, ecef.y, ecef.z])
+    return obs, float(np.linalg.norm(obs))
+
+
+def elevations_deg(constellation: Constellation, point: GeoPoint, t_s: float) -> np.ndarray:
+    """Elevation of every satellite above ``point``'s horizon (degrees)."""
+    obs, obs_norm = _observer_arrays(point)
+    sat = constellation.positions_ecef(t_s)
+    los = sat - obs
+    ranges = np.linalg.norm(los, axis=1)
+    cos_zenith = (los @ obs) / (ranges * obs_norm)
+    np.clip(cos_zenith, -1.0, 1.0, out=cos_zenith)
+    return 90.0 - np.degrees(np.arccos(cos_zenith))
+
+
+def slant_ranges_km(constellation: Constellation, point: GeoPoint, t_s: float) -> np.ndarray:
+    """Straight-line distance from ``point`` to every satellite (km)."""
+    obs, _ = _observer_arrays(point)
+    sat = constellation.positions_ecef(t_s)
+    return np.linalg.norm(sat - obs, axis=1)
+
+
+def visible_satellites(
+    constellation: Constellation,
+    point: GeoPoint,
+    t_s: float,
+    min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+) -> list[VisibleSatellite]:
+    """All satellites usable from ``point``, sorted by ascending slant range."""
+    obs, obs_norm = _observer_arrays(point)
+    sat = constellation.positions_ecef(t_s)
+    los = sat - obs
+    ranges = np.linalg.norm(los, axis=1)
+    cos_zenith = (los @ obs) / (ranges * obs_norm)
+    np.clip(cos_zenith, -1.0, 1.0, out=cos_zenith)
+    elevations = 90.0 - np.degrees(np.arccos(cos_zenith))
+
+    usable = np.flatnonzero(elevations >= min_elevation_deg)
+    order = usable[np.argsort(ranges[usable])]
+    return [
+        VisibleSatellite(
+            index=int(i),
+            elevation_deg=float(elevations[i]),
+            slant_range_km=float(ranges[i]),
+        )
+        for i in order
+    ]
+
+
+def nearest_visible_satellite(
+    constellation: Constellation,
+    point: GeoPoint,
+    t_s: float,
+    min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+) -> VisibleSatellite:
+    """The lowest-slant-range usable satellite, or raise :class:`VisibilityError`."""
+    candidates = visible_satellites(constellation, point, t_s, min_elevation_deg)
+    if not candidates:
+        raise VisibilityError(
+            f"no satellite above {min_elevation_deg} deg elevation from "
+            f"({point.lat_deg:.2f}, {point.lon_deg:.2f}) at t={t_s:.0f}s"
+        )
+    return candidates[0]
+
+
+def coverage_fraction(
+    constellation: Constellation,
+    point: GeoPoint,
+    duration_s: float,
+    step_s: float = 30.0,
+    min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+) -> float:
+    """Fraction of sampled instants at which at least one satellite is usable."""
+    if duration_s <= 0 or step_s <= 0:
+        raise VisibilityError("duration and step must be positive")
+    times = np.arange(0.0, duration_s, step_s)
+    covered = sum(
+        1 for t in times if len(visible_satellites(constellation, point, float(t), min_elevation_deg)) > 0
+    )
+    return covered / len(times)
+
+
+def max_slant_range_km(altitude_km: float, min_elevation_deg: float) -> float:
+    """Maximum slant range to a satellite at ``altitude_km`` at the elevation limit.
+
+    Law of sines on the Earth-centre / observer / satellite triangle.
+    """
+    from repro.constants import EARTH_RADIUS_KM
+
+    re = EARTH_RADIUS_KM
+    rs = re + altitude_km
+    elev = math.radians(min_elevation_deg)
+    # Angle at the satellite vertex.
+    sat_angle = math.asin(re * math.cos(elev) / rs)
+    earth_angle = math.pi / 2.0 - elev - sat_angle
+    return math.sqrt(re * re + rs * rs - 2.0 * re * rs * math.cos(earth_angle))

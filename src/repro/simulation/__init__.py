@@ -1,0 +1,6 @@
+"""Simulation utilities: clocks, epoch samplers, seeded RNG streams."""
+
+from repro.simulation.clock import SimulationClock
+from repro.simulation.sampler import EpochSampler, seeded_rng, user_sample_points
+
+__all__ = ["SimulationClock", "EpochSampler", "seeded_rng", "user_sample_points"]

@@ -1,0 +1,40 @@
+"""A monotonic simulated clock shared by simulation components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class SimulationClock:
+    """Simulated wall time in seconds since the experiment epoch."""
+
+    now_s: float = 0.0
+
+    def advance(self, dt_s: float) -> float:
+        """Move time forward by ``dt_s``; returns the new time."""
+        if dt_s < 0:
+            raise ConfigurationError(f"cannot advance by negative dt: {dt_s}")
+        self.now_s += dt_s
+        return self.now_s
+
+    def advance_to(self, t_s: float) -> float:
+        """Jump to an absolute time that must not be in the past."""
+        if t_s < self.now_s:
+            raise ConfigurationError(
+                f"clock cannot move backwards: {t_s} < {self.now_s}"
+            )
+        self.now_s = t_s
+        return self.now_s
+
+    def ticks(self, duration_s: float, step_s: float) -> list[float]:
+        """The instants ``now, now+step, ...`` covering ``duration_s``.
+
+        Does not advance the clock; purely a schedule helper.
+        """
+        if duration_s <= 0 or step_s <= 0:
+            raise ConfigurationError("duration and step must be positive")
+        count = int(duration_s / step_s) + 1
+        return [self.now_s + i * step_s for i in range(count)]

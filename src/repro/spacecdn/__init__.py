@@ -1,0 +1,85 @@
+"""SpaceCDN: CDN caches on LEO satellites (the paper's core proposal).
+
+Content is fetched from the satellite directly overhead when cached there;
+otherwise over inter-satellite links from the nearest caching satellite;
+otherwise from a ground cache behind the gateway (paper Fig. 6).
+"""
+
+from repro.spacecdn.placement import (
+    PlacementPlan,
+    KPerPlanePlacement,
+    RandomPlacement,
+    spaced_slots,
+    replica_hop_profile,
+)
+from repro.spacecdn.lookup import SpaceCdnLookup, LookupResult, LookupSource
+from repro.spacecdn.dutycycle import DutyCycleScheduler, DutyCycleLatencyModel
+from repro.spacecdn.striping import (
+    StripeAssignment,
+    StripingPlan,
+    plan_stripes,
+    stripe_coverage_gaps,
+)
+from repro.spacecdn.bubbles import (
+    RegionalPopularity,
+    ContentBubbleManager,
+    BubbleSimulationResult,
+)
+from repro.spacecdn.handover import VmHandoverPlanner, HandoverFeasibility
+from repro.spacecdn.system import SpaceCdnSystem, ServedRequest, SystemStats
+from repro.spacecdn.wormhole import WormholePlanner, WormholePlan
+from repro.spacecdn.prediction import PopularityPredictor, LearnedPrefetcher
+from repro.spacecdn.streaming import AbrPlayer, SessionReport, constant_path
+from repro.spacecdn.demand import DiurnalDemand, DemandAwareDutyCycle
+from repro.spacecdn.resilience import (
+    fail_satellites,
+    random_failure_set,
+    placement_under_failures,
+    ResilienceReport,
+)
+from repro.spacecdn.capacity import (
+    constellation_storage_pb,
+    videos_storable,
+    ThermalModel,
+)
+
+__all__ = [
+    "PlacementPlan",
+    "KPerPlanePlacement",
+    "RandomPlacement",
+    "spaced_slots",
+    "replica_hop_profile",
+    "SpaceCdnLookup",
+    "LookupResult",
+    "LookupSource",
+    "DutyCycleScheduler",
+    "DutyCycleLatencyModel",
+    "StripeAssignment",
+    "StripingPlan",
+    "plan_stripes",
+    "stripe_coverage_gaps",
+    "RegionalPopularity",
+    "ContentBubbleManager",
+    "BubbleSimulationResult",
+    "VmHandoverPlanner",
+    "HandoverFeasibility",
+    "SpaceCdnSystem",
+    "ServedRequest",
+    "SystemStats",
+    "WormholePlanner",
+    "WormholePlan",
+    "PopularityPredictor",
+    "LearnedPrefetcher",
+    "fail_satellites",
+    "random_failure_set",
+    "placement_under_failures",
+    "ResilienceReport",
+    "AbrPlayer",
+    "SessionReport",
+    "constant_path",
+    "DiurnalDemand",
+    "DemandAwareDutyCycle",
+    "constellation_storage_pb",
+    "videos_storable",
+    "ThermalModel",
+]

@@ -1,0 +1,121 @@
+"""Constellation storage and thermal arithmetic (paper §5).
+
+The paper's back-of-envelope: 6,000 satellites x ~150 TB each gives > 900 PB
+— over 300 million 2-hour 1080p videos. The thermal model captures the other
+§5 observation (Xing et al.): passively cooled satellites exceed the ~30 C
+ceiling only after *hours* of continuous computation, which duty-cycling
+avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    SATELLITE_STORAGE_TB,
+    SATELLITE_THERMAL_LIMIT_C,
+    VIDEO_1080P_GB_PER_HOUR,
+)
+from repro.errors import ConfigurationError
+
+
+def constellation_storage_pb(
+    num_satellites: int, per_satellite_tb: float = SATELLITE_STORAGE_TB
+) -> float:
+    """Total fleet storage in petabytes."""
+    if num_satellites < 0 or per_satellite_tb < 0:
+        raise ConfigurationError("satellite count and storage must be non-negative")
+    return num_satellites * per_satellite_tb / 1000.0
+
+
+def videos_storable(
+    total_pb: float,
+    video_hours: float = 2.0,
+    gb_per_hour: float = VIDEO_1080P_GB_PER_HOUR,
+) -> int:
+    """How many videos of the given length fit in ``total_pb`` petabytes."""
+    if total_pb < 0:
+        raise ConfigurationError("storage must be non-negative")
+    if video_hours <= 0 or gb_per_hour <= 0:
+        raise ConfigurationError("video length and bitrate must be positive")
+    video_gb = video_hours * gb_per_hour
+    return int(total_pb * 1_000_000 / video_gb)
+
+
+@dataclass
+class ThermalModel:
+    """First-order thermal model of a passively cooled caching satellite.
+
+    Temperature relaxes towards an equilibrium that depends on whether the
+    payload is active: ``T' = (T_target - T) / tau`` with ``T_target`` being
+    ``active_equilibrium_c`` while serving and ``idle_equilibrium_c`` while
+    relaying only.
+    """
+
+    idle_equilibrium_c: float = 18.0
+    active_equilibrium_c: float = 38.0
+    time_constant_s: float = 5400.0
+    limit_c: float = SATELLITE_THERMAL_LIMIT_C
+
+    def __post_init__(self) -> None:
+        if self.time_constant_s <= 0:
+            raise ConfigurationError("time constant must be positive")
+        if self.active_equilibrium_c <= self.idle_equilibrium_c:
+            raise ConfigurationError("active equilibrium must exceed idle equilibrium")
+
+    def step(self, temperature_c: float, active: bool, dt_s: float) -> float:
+        """Advance the temperature by ``dt_s`` (exact exponential step)."""
+        if dt_s < 0:
+            raise ConfigurationError(f"negative time step: {dt_s}")
+        import math
+
+        target = self.active_equilibrium_c if active else self.idle_equilibrium_c
+        decay = math.exp(-dt_s / self.time_constant_s)
+        return target + (temperature_c - target) * decay
+
+    def time_to_limit_s(self, start_c: float | None = None) -> float:
+        """Continuous-operation time until the thermal ceiling is hit.
+
+        Returns ``inf`` if the active equilibrium stays below the limit.
+        """
+        import math
+
+        temperature = self.idle_equilibrium_c if start_c is None else start_c
+        if self.active_equilibrium_c <= self.limit_c:
+            return float("inf")
+        if temperature >= self.limit_c:
+            return 0.0
+        # Solve limit = target + (T0 - target) * exp(-t/tau) for t.
+        ratio = (self.limit_c - self.active_equilibrium_c) / (
+            temperature - self.active_equilibrium_c
+        )
+        return -self.time_constant_s * math.log(ratio)
+
+    def max_sustainable_duty_fraction(self, slot_s: float = 600.0) -> float:
+        """Largest duty fraction that keeps steady-state peaks under the limit.
+
+        Simulates alternating active/idle slots until the peak temperature
+        converges, bisecting on the duty fraction.
+        """
+        if slot_s <= 0:
+            raise ConfigurationError("slot duration must be positive")
+
+        def peak_temperature(fraction: float) -> float:
+            temperature = self.idle_equilibrium_c
+            peak = temperature
+            for _ in range(200):  # long enough to reach the periodic steady state
+                temperature = self.step(temperature, True, fraction * slot_s)
+                peak = max(peak, temperature)
+                temperature = self.step(temperature, False, (1.0 - fraction) * slot_s)
+            return peak
+
+        if peak_temperature(1.0) <= self.limit_c:
+            return 1.0
+        low, high = 0.0, 1.0
+        for _ in range(40):
+            mid = (low + high) / 2.0
+            if peak_temperature(mid) <= self.limit_c:
+                low = mid
+            else:
+                high = mid
+        return low

@@ -1,0 +1,107 @@
+"""Demand-aware duty cycling (§5's "intelligent request scheduling").
+
+Content demand follows the sun: a longitude's request rate peaks in the
+local evening and bottoms out before dawn. Since thermal limits force
+caches to duty-cycle anyway (§5), the *which-satellites* choice is free —
+so schedule the cache duty onto satellites currently over high-demand
+longitudes and let the ones over the night side cool.
+:class:`DemandAwareDutyCycle` does exactly that and is benchmarked against
+the random scheduler of :mod:`repro.spacecdn.dutycycle`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.orbits.walker import Constellation
+
+
+@dataclass(frozen=True)
+class DiurnalDemand:
+    """A sinusoidal diurnal demand curve over local solar time.
+
+    ``weight(lon, t)`` peaks at ``peak_hour`` local time (default 21:00 —
+    the streaming prime time) and dips 12 hours away; the floor keeps
+    night-side demand positive (background traffic never stops).
+    """
+
+    peak_hour: float = 21.0
+    floor: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.peak_hour < 24.0:
+            raise ConfigurationError(f"peak hour must be in [0, 24), got {self.peak_hour}")
+        if not 0.0 <= self.floor < 1.0:
+            raise ConfigurationError(f"floor must be in [0, 1), got {self.floor}")
+
+    def local_hour(self, lon_deg: float, t_s: float) -> float:
+        """Local solar time at a longitude, for UTC-midnight epoch ``t_s=0``."""
+        if not -180.0 <= lon_deg <= 180.0:
+            raise ConfigurationError(f"longitude {lon_deg} out of range")
+        utc_hour = (t_s / 3600.0) % 24.0
+        return (utc_hour + lon_deg / 15.0) % 24.0
+
+    def weight(self, lon_deg: float, t_s: float) -> float:
+        """Relative demand at a longitude/time, in [floor, 1]."""
+        hour = self.local_hour(lon_deg, t_s)
+        phase = (hour - self.peak_hour) / 24.0 * 2.0 * math.pi
+        # Cosine bump centred on the peak hour, rescaled into [floor, 1].
+        raw = (math.cos(phase) + 1.0) / 2.0
+        return self.floor + (1.0 - self.floor) * raw
+
+
+@dataclass
+class DemandAwareDutyCycle:
+    """Duty-cycle scheduler that places cache duty over demand.
+
+    Ranks satellites by the demand weight at their sub-satellite longitude
+    (latitude-weighted towards the populated band) and activates the top
+    fraction. Deterministic given (constellation, time, fraction).
+    """
+
+    constellation: Constellation
+    cache_fraction: float
+    demand: DiurnalDemand = DiurnalDemand()
+    populated_band_deg: float = 55.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cache_fraction <= 1.0:
+            raise ConfigurationError(
+                f"cache_fraction must be in (0, 1], got {self.cache_fraction}"
+            )
+        if self.populated_band_deg <= 0:
+            raise ConfigurationError("populated band must be positive")
+
+    @property
+    def caches_per_slot(self) -> int:
+        return max(1, round(len(self.constellation) * self.cache_fraction))
+
+    def satellite_scores(self, t_s: float) -> np.ndarray:
+        """Per-satellite demand scores at an instant."""
+        tracks = self.constellation.subsatellite_points(t_s)
+        scores = np.empty(len(self.constellation))
+        for index, (lat, lon) in enumerate(tracks):
+            demand = self.demand.weight(float(lon), t_s)
+            # Satellites over the populated latitude band score fully;
+            # beyond it the score tapers (nobody to serve at 53N+ ocean).
+            taper = max(0.0, 1.0 - max(0.0, abs(lat) - self.populated_band_deg) / 35.0)
+            scores[index] = demand * max(0.1, taper)
+        return scores
+
+    def active_caches_at(self, t_s: float) -> frozenset[int]:
+        """The demand-ranked active cache set at an instant."""
+        if t_s < 0:
+            raise ConfigurationError(f"negative time: {t_s}")
+        scores = self.satellite_scores(t_s)
+        top = np.argsort(scores)[::-1][: self.caches_per_slot]
+        return frozenset(int(i) for i in top)
+
+    def mean_active_demand(self, t_s: float) -> float:
+        """Average demand score of the active set (vs the fleet average)."""
+        scores = self.satellite_scores(t_s)
+        active = list(self.active_caches_at(t_s))
+        return float(scores[active].mean())

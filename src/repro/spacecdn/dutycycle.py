@@ -1,0 +1,100 @@
+"""Duty-cycled satellite caching (paper §5 and Fig. 8).
+
+Satellites cannot all cache all the time (power/thermal budget), so only a
+fraction x of the fleet serves as caches in each duty-cycle slot; the rest
+relay requests over ISLs to the nearest active cache. The scheduler below
+draws a fresh pseudo-random active subset per slot, deterministically from
+the experiment seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constants import MIN_ELEVATION_USER_DEG
+from repro.errors import ConfigurationError
+from repro.geo.coordinates import GeoPoint
+from repro.spacecdn.lookup import LookupResult, SpaceCdnLookup
+from repro.topology.graph import SnapshotGraph
+
+
+@dataclass
+class DutyCycleScheduler:
+    """Selects which satellites cache during each duty-cycle slot."""
+
+    total_satellites: int
+    cache_fraction: float
+    slot_duration_s: float = 600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_satellites < 1:
+            raise ConfigurationError("need at least one satellite")
+        if not 0.0 < self.cache_fraction <= 1.0:
+            raise ConfigurationError(
+                f"cache_fraction must be in (0, 1], got {self.cache_fraction}"
+            )
+        if self.slot_duration_s <= 0:
+            raise ConfigurationError("slot duration must be positive")
+
+    @property
+    def caches_per_slot(self) -> int:
+        """Number of active caches in any slot (at least one)."""
+        return max(1, round(self.total_satellites * self.cache_fraction))
+
+    def slot_index(self, t_s: float) -> int:
+        """Which duty-cycle slot the instant ``t_s`` falls in."""
+        if t_s < 0:
+            raise ConfigurationError(f"negative time: {t_s}")
+        return int(t_s // self.slot_duration_s)
+
+    def active_caches(self, slot: int) -> frozenset[int]:
+        """The cache set for a slot — deterministic in (seed, slot)."""
+        if slot < 0:
+            raise ConfigurationError(f"negative slot: {slot}")
+        rng = np.random.default_rng((self.seed, slot))
+        chosen = rng.choice(
+            self.total_satellites, size=self.caches_per_slot, replace=False
+        )
+        return frozenset(int(i) for i in chosen)
+
+    def active_caches_at(self, t_s: float) -> frozenset[int]:
+        """The cache set active at time ``t_s``."""
+        return self.active_caches(self.slot_index(t_s))
+
+
+@dataclass
+class DutyCycleLatencyModel:
+    """Evaluates user-perceived latency under a duty-cycling cache fleet.
+
+    Requests always reach content in space here (Fig. 8 assumes the fleet as
+    a whole holds the object; what varies is how far the nearest *active*
+    cache is), so ``max_hops`` is unbounded by default.
+    """
+
+    snapshot: SnapshotGraph
+    scheduler: DutyCycleScheduler
+    max_hops: int = 64
+    _lookup: SpaceCdnLookup = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scheduler.total_satellites != len(self.snapshot.constellation):
+            raise ConfigurationError(
+                "scheduler fleet size does not match the snapshot constellation"
+            )
+        self._lookup = SpaceCdnLookup(snapshot=self.snapshot, max_hops=self.max_hops)
+
+    def lookup(
+        self,
+        user: GeoPoint,
+        min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+    ) -> LookupResult:
+        """Resolve a request at the snapshot instant under the active cache set."""
+        caches = self.scheduler.active_caches_at(self.snapshot.t_s)
+        return self._lookup.lookup_from_point(user, caches, min_elevation_deg)
+
+    def one_way_ms(self, user: GeoPoint) -> float:
+        """Convenience: the one-way latency of :meth:`lookup`."""
+        return self.lookup(user).one_way_ms

@@ -1,0 +1,125 @@
+"""Space VMs: replicating stateful edge services between satellites (§5).
+
+Stateful CDN-edge applications (multiplayer-game coordination, etc.) must
+survive the serving satellite leaving the coverage area. The paper sketches
+VM state-delta replication (<= ~100 MB deltas) to the satellite(s) that will
+be overhead next; this module checks feasibility: does the pass overlap (or
+the inter-pass gap plus ISL bandwidth) allow syncing the delta in time?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import MIN_ELEVATION_USER_DEG
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.passes import PassWindow, predict_passes
+from repro.orbits.walker import Constellation
+
+
+@dataclass(frozen=True)
+class HandoverFeasibility:
+    """Verdict on one satellite-to-satellite VM handover."""
+
+    from_satellite: int
+    to_satellite: int
+    overlap_s: float
+    """Seconds both satellites are simultaneously visible (hot handover)."""
+    gap_s: float
+    """Coverage gap between the passes (0 when they overlap)."""
+    sync_time_s: float
+    """Time needed to ship the state delta over an ISL."""
+    feasible: bool
+
+
+@dataclass
+class VmHandoverPlanner:
+    """Plans state replication along the chain of passes over a service area."""
+
+    constellation: Constellation
+    isl_bandwidth_gbps: float = 10.0
+    """Optical ISL throughput available for replication traffic."""
+
+    def __post_init__(self) -> None:
+        if self.isl_bandwidth_gbps <= 0:
+            raise ConfigurationError("ISL bandwidth must be positive")
+
+    def sync_time_s(self, delta_mb: float) -> float:
+        """Seconds to transfer a state delta of ``delta_mb`` megabytes."""
+        if delta_mb < 0:
+            raise ConfigurationError(f"negative delta size: {delta_mb}")
+        return delta_mb * 8.0 / (self.isl_bandwidth_gbps * 1000.0)
+
+    def pass_chain(
+        self,
+        area: GeoPoint,
+        start_s: float,
+        duration_s: float,
+        min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+        step_s: float = 10.0,
+    ) -> list[PassWindow]:
+        """The serving chain: the greedy minimal pass sequence covering the area.
+
+        Many satellites are visible simultaneously; the serving chain picks,
+        starting from the earliest pass, the overlapping (or next-starting)
+        pass that extends coverage furthest — the sequence a VM would
+        actually migrate along.
+        """
+        passes = predict_passes(
+            self.constellation, area, start_s, duration_s, step_s, min_elevation_deg
+        )
+        if not passes:
+            raise VisibilityError("no passes over the service area")
+
+        horizon = start_s + duration_s
+        chain = [max(passes, key=lambda p: (p.start_s <= passes[0].start_s, p.end_s))]
+        while chain[-1].end_s < horizon:
+            current = chain[-1]
+            # Candidates that extend coverage: start before (or right at) the
+            # current pass's end, and end later.
+            extenders = [
+                p for p in passes if p.start_s <= current.end_s and p.end_s > current.end_s
+            ]
+            if extenders:
+                chain.append(max(extenders, key=lambda p: p.end_s))
+                continue
+            # Coverage gap: jump to the next pass after the gap, if any.
+            later = [p for p in passes if p.start_s > current.end_s]
+            if not later:
+                break
+            chain.append(min(later, key=lambda p: p.start_s))
+        return chain
+
+    def plan_handovers(
+        self,
+        area: GeoPoint,
+        start_s: float,
+        duration_s: float,
+        delta_mb: float = 100.0,
+        min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+    ) -> list[HandoverFeasibility]:
+        """Feasibility of every consecutive handover along the serving chain.
+
+        A handover is feasible when the delta syncs within the visibility
+        overlap (hot handover), or — failing that — within 30 s around a
+        short coverage gap (the state freezes briefly).
+        """
+        chain = self.pass_chain(area, start_s, duration_s, min_elevation_deg)
+        sync = self.sync_time_s(delta_mb)
+        results: list[HandoverFeasibility] = []
+        for current, nxt in zip(chain, chain[1:]):
+            overlap = max(0.0, current.end_s - nxt.start_s)
+            gap = max(0.0, nxt.start_s - current.end_s)
+            feasible = sync <= overlap or (gap <= 30.0 and sync <= gap + 30.0)
+            results.append(
+                HandoverFeasibility(
+                    from_satellite=current.satellite,
+                    to_satellite=nxt.satellite,
+                    overlap_s=overlap,
+                    gap_s=gap,
+                    sync_time_s=sync,
+                    feasible=feasible,
+                )
+            )
+        return results

@@ -1,0 +1,149 @@
+"""Hop-bounded SpaceCDN content lookup (paper Fig. 6).
+
+Resolution order for a user request:
+
+1. the access satellite's own cache ("1st/Sat" in Fig. 7);
+2. the minimum-latency caching satellite within ``max_hops`` ISL hops;
+3. fallback: down the bent pipe to the ground cache near the gateway.
+
+The returned latencies are one-way path latencies from the user terminal;
+callers double them (plus server think time) for RTTs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.constants import MIN_ELEVATION_USER_DEG
+from repro.errors import ContentNotFoundError, RoutingError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.visibility import nearest_visible_satellite
+from repro.topology.graph import SnapshotGraph, access_latency_ms
+from repro.topology.routing import hop_distances, satellite_latencies
+
+
+class LookupSource(enum.Enum):
+    """Where a request was ultimately served from."""
+
+    ACCESS_SATELLITE = "access-satellite"
+    DIRECT_VISIBLE = "direct-visible"
+    """Another currently *visible* satellite served the terminal directly —
+    no ISL transit. Relevant because grid-adjacent and physically-adjacent
+    are different things: a satellite a few hundred km away on a crossing
+    plane can be dozens of +Grid hops away."""
+    ISL_NEIGHBOR = "isl-neighbor"
+    GROUND = "ground"
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one SpaceCDN lookup."""
+
+    source: LookupSource
+    serving_satellite: int | None
+    isl_hops: int
+    one_way_ms: float
+    access_satellite: int
+
+
+@dataclass
+class SpaceCdnLookup:
+    """Content resolution over one constellation snapshot."""
+
+    snapshot: SnapshotGraph
+    max_hops: int = 10
+    ground_fallback_one_way_ms: float = 70.0
+    """One-way latency of the bent-pipe + terrestrial path to the ground
+    cache, used when no satellite within ``max_hops`` holds the object.
+    Callers with a resolved :class:`~repro.network.bentpipe.StarlinkPath`
+    should override this with the client's actual path floor."""
+
+    def lookup_from_point(
+        self,
+        user: GeoPoint,
+        cache_satellites: frozenset[int],
+        min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+    ) -> LookupResult:
+        """Resolve a request from a ground location (picks the access satellite)."""
+        access = nearest_visible_satellite(
+            self.snapshot.constellation, user, self.snapshot.t_s, min_elevation_deg
+        )
+        return self.lookup(
+            access_satellite=access.index,
+            access_one_way_ms=access_latency_ms(access.slant_range_km),
+            cache_satellites=cache_satellites,
+        )
+
+    def lookup(
+        self,
+        access_satellite: int,
+        access_one_way_ms: float,
+        cache_satellites: frozenset[int],
+    ) -> LookupResult:
+        """Resolve a request entering the constellation at ``access_satellite``."""
+        if access_one_way_ms < 0:
+            raise RoutingError(f"negative access latency: {access_one_way_ms}")
+
+        if access_satellite in cache_satellites:
+            return LookupResult(
+                source=LookupSource.ACCESS_SATELLITE,
+                serving_satellite=access_satellite,
+                isl_hops=0,
+                one_way_ms=access_one_way_ms,
+                access_satellite=access_satellite,
+            )
+
+        best = self._nearest_cache(access_satellite, cache_satellites)
+        if best is not None:
+            satellite, hops, isl_ms = best
+            return LookupResult(
+                source=LookupSource.ISL_NEIGHBOR,
+                serving_satellite=satellite,
+                isl_hops=hops,
+                one_way_ms=access_one_way_ms + isl_ms,
+                access_satellite=access_satellite,
+            )
+
+        return LookupResult(
+            source=LookupSource.GROUND,
+            serving_satellite=None,
+            isl_hops=0,
+            one_way_ms=self.ground_fallback_one_way_ms,
+            access_satellite=access_satellite,
+        )
+
+    def _nearest_cache(
+        self, access_satellite: int, cache_satellites: frozenset[int]
+    ) -> tuple[int, int, float] | None:
+        """(satellite, hops, one-way ISL ms) of the cheapest in-range cache."""
+        if not cache_satellites:
+            return None
+        hops = hop_distances(self.snapshot, access_satellite)
+        in_range = {
+            sat: h
+            for sat, h in hops.items()
+            if sat in cache_satellites and h <= self.max_hops
+        }
+        if not in_range:
+            return None
+        latencies = satellite_latencies(self.snapshot, access_satellite)
+        best_sat = min(in_range, key=lambda sat: latencies.get(sat, float("inf")))
+        best_latency = latencies.get(best_sat)
+        if best_latency is None:
+            return None
+        return best_sat, in_range[best_sat], best_latency
+
+    def require_space_hit(
+        self,
+        user: GeoPoint,
+        cache_satellites: frozenset[int],
+    ) -> LookupResult:
+        """Like :meth:`lookup_from_point` but raises on ground fallback."""
+        result = self.lookup_from_point(user, cache_satellites)
+        if result.source is LookupSource.GROUND:
+            raise ContentNotFoundError(
+                f"no caching satellite within {self.max_hops} hops of satellite "
+                f"{result.access_satellite}"
+            )
+        return result

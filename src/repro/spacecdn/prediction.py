@@ -1,0 +1,111 @@
+"""Learned regional popularity for predictive prefetch (paper §5).
+
+The paper "foresee[s] the potential of machine learning algorithms to
+predict and prefetch content on satellites as they approach field-of-view
+of a country". This module supplies the simplest such learner that works:
+per-region exponentially weighted request counts, queried for the top-k to
+prefetch. It plugs into :class:`~repro.spacecdn.bubbles.ContentBubbleManager`
+wherever the oracle :class:`~repro.spacecdn.bubbles.RegionalPopularity`
+was used — the oracle-vs-learned gap is measured in the tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class PopularityPredictor:
+    """Per-region exponentially weighted popularity estimates.
+
+    Each observation adds 1 to the object's regional score; all scores in a
+    region decay by ``decay`` whenever :meth:`end_epoch` is called (e.g.
+    once per satellite pass), so stale hits fade and new trends surface.
+    """
+
+    decay: float = 0.8
+
+    _scores: dict[str, dict[str, float]] = field(
+        default_factory=lambda: defaultdict(dict), repr=False
+    )
+    observations: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {self.decay}")
+
+    def observe(self, region: str, object_id: str, weight: float = 1.0) -> None:
+        """Record one request for ``object_id`` from ``region``."""
+        if weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {weight}")
+        scores = self._scores[region]
+        scores[object_id] = scores.get(object_id, 0.0) + weight
+        self.observations += 1
+
+    def end_epoch(self, region: str | None = None) -> None:
+        """Decay scores (one region, or all when ``region`` is None)."""
+        regions = [region] if region is not None else list(self._scores)
+        for name in regions:
+            scores = self._scores.get(name)
+            if not scores:
+                continue
+            for object_id in list(scores):
+                scores[object_id] *= self.decay
+                if scores[object_id] < 1e-6:
+                    del scores[object_id]
+
+    def score(self, region: str, object_id: str) -> float:
+        """Current popularity score (0.0 when never observed)."""
+        return self._scores.get(region, {}).get(object_id, 0.0)
+
+    def predict_top(self, region: str, count: int) -> list[str]:
+        """The ``count`` highest-scoring objects for a region.
+
+        Returns fewer when the region has fewer observed objects, and an
+        empty list for an unseen region (cold start — the caller should
+        fall back to global content or an oracle prior).
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        scores = self._scores.get(region)
+        if not scores:
+            return []
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [object_id for object_id, _ in ranked[:count]]
+
+    def regions_seen(self) -> list[str]:
+        """Regions with at least one live score."""
+        return sorted(r for r, s in self._scores.items() if s)
+
+
+@dataclass
+class LearnedPrefetcher:
+    """Adapter: drives a bubble cache's prefetch from learned popularity.
+
+    Wraps a :class:`PopularityPredictor` so it can stand in for the oracle
+    ``RegionalPopularity.top_objects`` inside a prefetch loop: requests are
+    fed back via :meth:`observe_request`, and pass boundaries via
+    :meth:`on_pass_complete`.
+    """
+
+    predictor: PopularityPredictor = field(default_factory=PopularityPredictor)
+
+    def observe_request(self, region: str, object_id: str) -> None:
+        self.predictor.observe(region, object_id)
+
+    def on_pass_complete(self, region: str) -> None:
+        self.predictor.end_epoch(region)
+
+    def prefetch_list(self, region: str, count: int) -> list[str]:
+        """What to prefetch before the next pass over ``region``."""
+        return self.predictor.predict_top(region, count)
+
+    def hit_rate_vs_oracle(self, region: str, oracle_top: list[str]) -> float:
+        """Overlap between the learned top-k and an oracle top-k in [0, 1]."""
+        if not oracle_top:
+            raise ConfigurationError("oracle list is empty")
+        learned = set(self.prefetch_list(region, len(oracle_top)))
+        return len(learned & set(oracle_top)) / len(oracle_top)

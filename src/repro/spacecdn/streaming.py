@@ -1,0 +1,145 @@
+"""Adaptive-bitrate streaming sessions over SpaceCDN vs today's paths.
+
+The paper motivates SpaceCDN with user reports of "slow loading times and
+frequent buffering" on Starlink. This module closes that loop: a DASH-style
+player with throughput-based bitrate adaptation, fed by any (RTT,
+throughput) path profile, reports startup delay, mean bitrate and rebuffer
+ratio — so the latency/throughput numbers elsewhere in the repo translate
+into the QoE terms the paper's anecdotes use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+DEFAULT_BITRATE_LADDER_MBPS = (1.0, 2.5, 5.0, 8.0, 16.0)
+
+
+@dataclass(frozen=True)
+class SegmentFetch:
+    """One fetched media segment."""
+
+    index: int
+    bitrate_mbps: float
+    fetch_time_s: float
+    rebuffered_s: float
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """QoE summary of one streaming session."""
+
+    segments: int
+    startup_delay_s: float
+    mean_bitrate_mbps: float
+    rebuffer_events: int
+    rebuffer_ratio: float
+    """Stall time divided by content time played."""
+
+
+@dataclass
+class AbrPlayer:
+    """Throughput-based ABR: pick the highest bitrate below a safety margin.
+
+    ``rtt_ms_fn``/``throughput_mbps_fn`` supply per-segment path samples, so
+    jittery paths (bufferbloat spikes) flow straight into QoE.
+    """
+
+    rtt_ms_fn: Callable[[], float]
+    throughput_mbps_fn: Callable[[], float]
+    bitrate_ladder_mbps: tuple[float, ...] = DEFAULT_BITRATE_LADDER_MBPS
+    segment_duration_s: float = 4.0
+    target_buffer_s: float = 16.0
+    safety_margin: float = 0.8
+    ewma_alpha: float = 0.4
+
+    _throughput_estimate_mbps: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.bitrate_ladder_mbps:
+            raise ConfigurationError("bitrate ladder is empty")
+        if list(self.bitrate_ladder_mbps) != sorted(self.bitrate_ladder_mbps):
+            raise ConfigurationError("bitrate ladder must be ascending")
+        if self.segment_duration_s <= 0 or self.target_buffer_s <= 0:
+            raise ConfigurationError("durations must be positive")
+        if not 0.0 < self.safety_margin <= 1.0:
+            raise ConfigurationError("safety margin must be in (0, 1]")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError("EWMA alpha must be in (0, 1]")
+
+    def _choose_bitrate(self) -> float:
+        if self._throughput_estimate_mbps <= 0.0:
+            return self.bitrate_ladder_mbps[0]  # conservative start
+        budget = self._throughput_estimate_mbps * self.safety_margin
+        eligible = [b for b in self.bitrate_ladder_mbps if b <= budget]
+        return eligible[-1] if eligible else self.bitrate_ladder_mbps[0]
+
+    def _fetch_segment(self, bitrate_mbps: float) -> float:
+        """Wall-clock seconds to fetch one segment at the chosen bitrate."""
+        rtt_s = self.rtt_ms_fn() / 1000.0
+        throughput = self.throughput_mbps_fn()
+        if throughput <= 0:
+            raise ConfigurationError("throughput sample must be positive")
+        transfer_s = bitrate_mbps * self.segment_duration_s / throughput
+        observed = bitrate_mbps * self.segment_duration_s / (rtt_s + transfer_s)
+        self._throughput_estimate_mbps = (
+            self.ewma_alpha * observed
+            + (1.0 - self.ewma_alpha) * (self._throughput_estimate_mbps or observed)
+        )
+        return rtt_s + transfer_s
+
+    def play(self, content_duration_s: float) -> SessionReport:
+        """Simulate a full session and return its QoE report."""
+        if content_duration_s <= 0:
+            raise ConfigurationError("content duration must be positive")
+
+        segments = int(-(-content_duration_s // self.segment_duration_s))
+        fetches: list[SegmentFetch] = []
+
+        # Startup: fetch the first segment before playback begins.
+        first_bitrate = self._choose_bitrate()
+        startup = self._fetch_segment(first_bitrate)
+        fetches.append(SegmentFetch(0, first_bitrate, startup, 0.0))
+        buffer_s = self.segment_duration_s
+
+        rebuffer_events = 0
+        total_stall_s = 0.0
+        for index in range(1, segments):
+            # Buffer-full pacing: wait until there is room for one segment.
+            if buffer_s + self.segment_duration_s > self.target_buffer_s:
+                buffer_s = self.target_buffer_s - self.segment_duration_s
+            bitrate = self._choose_bitrate()
+            fetch_time = self._fetch_segment(bitrate)
+            drained = buffer_s - fetch_time
+            if drained < 0.0:
+                stall = -drained
+                rebuffer_events += 1
+                total_stall_s += stall
+                buffer_s = 0.0
+                fetches.append(SegmentFetch(index, bitrate, fetch_time, stall))
+            else:
+                buffer_s = drained
+                fetches.append(SegmentFetch(index, bitrate, fetch_time, 0.0))
+            buffer_s += self.segment_duration_s
+
+        played_s = segments * self.segment_duration_s
+        mean_bitrate = sum(f.bitrate_mbps for f in fetches) / len(fetches)
+        return SessionReport(
+            segments=segments,
+            startup_delay_s=startup,
+            mean_bitrate_mbps=mean_bitrate,
+            rebuffer_events=rebuffer_events,
+            rebuffer_ratio=total_stall_s / played_s,
+        )
+
+
+def constant_path(rtt_ms: float, throughput_mbps: float) -> tuple[
+    Callable[[], float], Callable[[], float]
+]:
+    """Convenience: fixed-path sample functions for :class:`AbrPlayer`."""
+    if rtt_ms <= 0 or throughput_mbps <= 0:
+        raise ConfigurationError("path parameters must be positive")
+    return (lambda: rtt_ms), (lambda: throughput_mbps)

@@ -1,0 +1,157 @@
+"""Video striping across successive satellites (paper §4).
+
+A long video is split into *stripes* (groups of DASH segments). Stripe k is
+cached on a satellite that will be overhead of the viewer while stripe k
+plays, so the stream hops seamlessly from satellite to satellite as the
+constellation rotates — and later stripes can be uploaded to following
+satellites while earlier ones play, hiding the bent-pipe upload latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import MIN_ELEVATION_USER_DEG
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.passes import PassWindow, predict_passes
+from repro.orbits.walker import Constellation
+
+
+@dataclass(frozen=True)
+class StripeAssignment:
+    """One stripe pinned to one satellite's pass."""
+
+    stripe_index: int
+    satellite: int
+    playback_start_s: float
+    playback_end_s: float
+    pass_window: PassWindow
+
+    @property
+    def slack_before_s(self) -> float:
+        """How long the satellite is visible before its stripe starts playing
+        — the window available to upload the stripe in the background."""
+        return self.playback_start_s - self.pass_window.start_s
+
+
+@dataclass
+class StripingPlan:
+    """A full stripe-to-satellite schedule for one playback session."""
+
+    assignments: tuple[StripeAssignment, ...]
+    stripe_duration_s: float
+
+    @property
+    def num_stripes(self) -> int:
+        return len(self.assignments)
+
+    def satellite_for_time(self, playback_t_s: float) -> int:
+        """Which satellite serves the stream at a playback instant."""
+        for assignment in self.assignments:
+            if assignment.playback_start_s <= playback_t_s < assignment.playback_end_s:
+                return assignment.satellite
+        raise ConfigurationError(
+            f"playback time {playback_t_s:.0f}s outside the planned session"
+        )
+
+    def distinct_satellites(self) -> list[int]:
+        """Satellites used, in playback order, deduplicated consecutively."""
+        result: list[int] = []
+        for assignment in self.assignments:
+            if not result or result[-1] != assignment.satellite:
+                result.append(assignment.satellite)
+        return result
+
+
+def plan_stripes(
+    constellation: Constellation,
+    viewer: GeoPoint,
+    start_s: float,
+    video_duration_s: float,
+    stripe_duration_s: float = 300.0,
+    min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+    pass_step_s: float = 10.0,
+) -> StripingPlan:
+    """Assign each stripe to a satellite overhead during its playback window.
+
+    For every stripe we pick, among passes overlapping the stripe's playback
+    interval, the one that covers the largest share of it (preferring passes
+    that start earlier, which maximises upload slack). Raises
+    :class:`VisibilityError` if some stripe has no covering pass.
+    """
+    if video_duration_s <= 0 or stripe_duration_s <= 0:
+        raise ConfigurationError("durations must be positive")
+
+    # One scan covers the whole session (with margin for the final stripe).
+    passes = predict_passes(
+        constellation,
+        viewer,
+        start_s,
+        video_duration_s + stripe_duration_s,
+        step_s=pass_step_s,
+        min_elevation_deg=min_elevation_deg,
+    )
+    if not passes:
+        raise VisibilityError("no satellite passes over the viewer during playback")
+
+    assignments: list[StripeAssignment] = []
+    num_stripes = int(-(-video_duration_s // stripe_duration_s))  # ceil division
+    for stripe in range(num_stripes):
+        play_start = start_s + stripe * stripe_duration_s
+        play_end = min(play_start + stripe_duration_s, start_s + video_duration_s)
+
+        # Prefer passes that fully cover the stripe's playback window; among
+        # those, the earliest-starting one maximises the slack available to
+        # upload the stripe before it plays (the paper's bent-pipe-hiding
+        # trick). If no pass fully covers the stripe, fall back to the
+        # largest-overlap pass.
+        full = [
+            w for w in passes if w.start_s <= play_start and w.end_s >= play_end
+        ]
+        if full:
+            best = min(full, key=lambda w: w.start_s)
+        else:
+            overlaps = [
+                (min(w.end_s, play_end) - max(w.start_s, play_start), w)
+                for w in passes
+            ]
+            best_overlap, best = max(overlaps, key=lambda ow: (ow[0], -ow[1].start_s))
+            if best_overlap <= 0.0:
+                best = None
+        if best is None:
+            raise VisibilityError(
+                f"stripe {stripe} ({play_start:.0f}-{play_end:.0f}s) has no "
+                "covering satellite pass"
+            )
+        assignments.append(
+            StripeAssignment(
+                stripe_index=stripe,
+                satellite=best.satellite,
+                playback_start_s=play_start,
+                playback_end_s=play_end,
+                pass_window=best,
+            )
+        )
+    return StripingPlan(
+        assignments=tuple(assignments), stripe_duration_s=stripe_duration_s
+    )
+
+
+def stripe_coverage_gaps(plan: StripingPlan) -> list[tuple[int, float]]:
+    """Playback seconds of each stripe NOT covered by its satellite's pass.
+
+    Returns ``(stripe_index, uncovered_seconds)`` for stripes with gaps —
+    those seconds must be served over ISLs from a neighbour instead of
+    directly overhead. An empty list means seamless direct service.
+    """
+    gaps: list[tuple[int, float]] = []
+    for assignment in plan.assignments:
+        covered_start = max(assignment.playback_start_s, assignment.pass_window.start_s)
+        covered_end = min(assignment.playback_end_s, assignment.pass_window.end_s)
+        covered = max(0.0, covered_end - covered_start)
+        total = assignment.playback_end_s - assignment.playback_start_s
+        uncovered = total - covered
+        if uncovered > 1e-9:
+            gaps.append((assignment.stripe_index, uncovered))
+    return gaps

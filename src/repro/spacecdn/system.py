@@ -1,0 +1,319 @@
+"""The full SpaceCDN system: per-satellite caches served over time.
+
+Where :mod:`repro.spacecdn.lookup` answers a single geometric query, the
+:class:`SpaceCdnSystem` runs the whole machine: every satellite carries a
+real byte-bounded cache, requests arrive on a timeline, the constellation
+rotates underneath (snapshots are rebuilt on a quantised clock), misses
+pull content up from the ground and populate the access satellite's cache,
+and a content index tracks which satellites currently hold which objects.
+
+This is the component a downstream user would actually embed: give it a
+catalog, a placement/prefetch policy and a request stream, get back hit
+levels and latency samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdn.cache import Cache, LruCache
+from repro.cdn.content import Catalog
+from repro.constants import CDN_SERVER_THINK_TIME_MS, MIN_ELEVATION_USER_DEG
+from repro.errors import ConfigurationError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.walker import Constellation
+from repro.spacecdn.lookup import LookupSource
+from repro.topology.graph import SnapshotGraph, access_latency_ms, build_snapshot
+from repro.topology.routing import hop_distances, satellite_latencies
+from repro.workloads.requests import Request
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Outcome of one request through the system."""
+
+    object_id: str
+    t_s: float
+    source: LookupSource
+    serving_satellite: int | None
+    isl_hops: int
+    rtt_ms: float
+
+
+@dataclass
+class SystemStats:
+    """Aggregate counters over a run."""
+
+    access_hits: int = 0
+    direct_hits: int = 0
+    isl_hits: int = 0
+    ground_fetches: int = 0
+    rtt_samples_ms: list[float] = field(default_factory=list)
+
+    @property
+    def requests(self) -> int:
+        return self.access_hits + self.direct_hits + self.isl_hits + self.ground_fetches
+
+    @property
+    def space_hit_ratio(self) -> float:
+        """Fraction of requests served without touching the ground."""
+        if self.requests == 0:
+            return 0.0
+        return (self.requests - self.ground_fetches) / self.requests
+
+
+@dataclass
+class SpaceCdnSystem:
+    """A running SpaceCDN: caches on every satellite, time-aware routing.
+
+    Args:
+        constellation: the shell to run on.
+        catalog: the content universe (sizes drive cache occupancy).
+        cache_bytes_per_satellite: capacity of each on-board cache.
+        max_hops: ISL search radius before falling back to the ground.
+        ground_rtt_ms: RTT of the bent-pipe + terrestrial fallback path.
+        snapshot_interval_s: how often the ISL graph is rebuilt as the
+            constellation rotates (60 s keeps link-length error under ~1%).
+    """
+
+    constellation: Constellation
+    catalog: Catalog
+    cache_bytes_per_satellite: int = 10**9
+    max_hops: int = 5
+    ground_rtt_ms: float = 140.0
+    snapshot_interval_s: float = 60.0
+    min_elevation_deg: float = MIN_ELEVATION_USER_DEG
+
+    stats: SystemStats = field(default_factory=SystemStats)
+    _caches: dict[int, Cache] = field(default_factory=dict, repr=False)
+    _index: dict[str, set[int]] = field(default_factory=dict, repr=False)
+    _snapshot: SnapshotGraph | None = field(default=None, repr=False)
+    _snapshot_slot: int = field(default=-1, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.cache_bytes_per_satellite <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        if self.max_hops < 0:
+            raise ConfigurationError("max_hops must be non-negative")
+        if self.snapshot_interval_s <= 0:
+            raise ConfigurationError("snapshot interval must be positive")
+        if self.ground_rtt_ms <= 0:
+            raise ConfigurationError("ground RTT must be positive")
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def cache_of(self, satellite: int) -> Cache:
+        """The on-board cache of one satellite (created lazily)."""
+        if not 0 <= satellite < len(self.constellation):
+            raise ConfigurationError(f"satellite {satellite} out of range")
+        cache = self._caches.get(satellite)
+        if cache is None:
+            cache = LruCache(self.cache_bytes_per_satellite)
+            self._caches[satellite] = cache
+        return cache
+
+    def holders_of(self, object_id: str) -> frozenset[int]:
+        """Satellites currently caching an object."""
+        return frozenset(self._index.get(object_id, ()))
+
+    def _store(self, satellite: int, object_id: str) -> None:
+        """Insert an object into a satellite's cache, maintaining the index."""
+        obj = self.catalog.get(object_id)
+        cache = self.cache_of(satellite)
+        if obj.size_bytes > cache.capacity_bytes:
+            return  # too large to cache anywhere; served pass-through
+        evicted = cache.put(obj)
+        for victim in evicted:
+            holders = self._index.get(victim)
+            if holders is not None:
+                holders.discard(satellite)
+                if not holders:
+                    del self._index[victim]
+        self._index.setdefault(object_id, set()).add(satellite)
+
+    def preload(self, placement: dict[str, frozenset[int]]) -> int:
+        """Push a placement plan into the on-board caches; returns stores done."""
+        stored = 0
+        for object_id, satellites in placement.items():
+            for satellite in satellites:
+                self._store(satellite, object_id)
+                stored += 1
+        return stored
+
+    def bubble_prefetch(
+        self,
+        popularity,
+        t_s: float,
+        objects_per_region: int = 10,
+        max_region_distance_km: float = 1500.0,
+    ) -> int:
+        """Content-bubble pass: load each satellite with the region below it.
+
+        For every satellite currently over a gazetteer region, prefetches
+        that region's ``objects_per_region`` most popular objects into its
+        cache (paper §5: bubbles form where the infrastructure moves but
+        the content stays relevant). ``popularity`` is anything with
+        ``regions()`` and ``top_objects(region, count)`` — the oracle
+        :class:`~repro.spacecdn.bubbles.RegionalPopularity` or a
+        :class:`~repro.spacecdn.prediction.LearnedPrefetcher`'s predictor.
+
+        Returns the number of cache stores performed.
+        """
+        from repro.geo.datasets.cities import region_under
+
+        if objects_per_region < 1:
+            raise ConfigurationError("objects_per_region must be >= 1")
+        known_regions = set(popularity.regions())
+        tracks = self.constellation.subsatellite_points(t_s)
+        stored = 0
+        for satellite, (lat, lon) in enumerate(tracks):
+            region = region_under(float(lat), float(lon), max_region_distance_km)
+            if region is None or region not in known_regions:
+                continue
+            for object_id in popularity.top_objects(region, objects_per_region):
+                if object_id not in self.cache_of(satellite):
+                    self._store(satellite, object_id)
+                    stored += 1
+        return stored
+
+    # -- time-aware topology -------------------------------------------------
+
+    def snapshot_at(self, t_s: float) -> SnapshotGraph:
+        """The ISL graph for the quantised instant containing ``t_s``."""
+        if t_s < 0:
+            raise ConfigurationError(f"negative time: {t_s}")
+        slot = int(t_s // self.snapshot_interval_s)
+        if slot != self._snapshot_slot or self._snapshot is None:
+            self._snapshot = build_snapshot(
+                self.constellation, slot * self.snapshot_interval_s
+            )
+            self._snapshot_slot = slot
+        return self._snapshot
+
+    # -- the serve path -------------------------------------------------------
+
+    def serve(self, user: GeoPoint, object_id: str, t_s: float) -> ServedRequest:
+        """Serve one request at simulated time ``t_s`` from ``user``.
+
+        Resolution order (paper Fig. 6): access satellite's cache, nearest
+        caching satellite within ``max_hops`` ISLs, ground fallback. Ground
+        fetches populate the access satellite's cache (pull-through), which
+        is how popularity organically builds the space tier.
+        """
+        self.catalog.get(object_id)  # validate early
+        snapshot = self.snapshot_at(t_s)
+        from repro.orbits.visibility import visible_satellites
+
+        visible = visible_satellites(
+            self.constellation, user, snapshot.t_s, self.min_elevation_deg
+        )
+        if not visible:
+            raise ConfigurationError(
+                f"no satellite visible from ({user.lat_deg:.1f}, {user.lon_deg:.1f})"
+            )
+        access = visible[0]
+        access_rtt = 2.0 * access_latency_ms(access.slant_range_km)
+
+        # Level 1: overhead satellite.
+        if self.cache_of(access.index).get(object_id) is not None:
+            return self._record(
+                object_id,
+                t_s,
+                LookupSource.ACCESS_SATELLITE,
+                access.index,
+                0,
+                access_rtt + CDN_SERVER_THINK_TIME_MS,
+            )
+
+        holders = self.holders_of(object_id)
+
+        # Level 1b: any other *visible* holder — the terminal can beam to it
+        # directly. Physically-near satellites on crossing planes can be
+        # dozens of +Grid hops apart, so this check is not subsumed by the
+        # ISL search below.
+        for candidate in visible[1:]:
+            if candidate.index in holders:
+                self.cache_of(candidate.index).get(object_id)  # count the hit
+                rtt = 2.0 * access_latency_ms(candidate.slant_range_km)
+                return self._record(
+                    object_id,
+                    t_s,
+                    LookupSource.DIRECT_VISIBLE,
+                    candidate.index,
+                    0,
+                    rtt + CDN_SERVER_THINK_TIME_MS,
+                )
+
+        # Level 2: nearest caching satellite within the hop bound.
+        found = self._nearest_holder(snapshot, access.index, holders)
+        if found is not None:
+            satellite, hops, isl_one_way = found
+            self.cache_of(satellite).get(object_id)  # count the remote hit
+            rtt = access_rtt + 2.0 * isl_one_way + CDN_SERVER_THINK_TIME_MS
+            return self._record(
+                object_id, t_s, LookupSource.ISL_NEIGHBOR, satellite, hops, rtt
+            )
+
+        # Level 3: ground fallback + pull-through insert.
+        self._store(access.index, object_id)
+        return self._record(
+            object_id, t_s, LookupSource.GROUND, None, 0, self.ground_rtt_ms
+        )
+
+    def serve_request(self, request: Request) -> ServedRequest:
+        """Serve one workload :class:`~repro.workloads.requests.Request`."""
+        return self.serve(request.city.location, request.object_id, request.t_s)
+
+    def run(self, requests: list[Request]) -> list[ServedRequest]:
+        """Serve a whole request stream (must be time-ordered)."""
+        last_t = -1.0
+        results = []
+        for request in requests:
+            if request.t_s < last_t:
+                raise ConfigurationError("request stream is not time-ordered")
+            last_t = request.t_s
+            results.append(self.serve_request(request))
+        return results
+
+    def _nearest_holder(
+        self, snapshot: SnapshotGraph, access: int, holders: frozenset[int]
+    ) -> tuple[int, int, float] | None:
+        if not holders:
+            return None
+        hops = hop_distances(snapshot, access)
+        in_range = {s: h for s, h in hops.items() if s in holders and 0 < h <= self.max_hops}
+        if not in_range:
+            return None
+        latencies = satellite_latencies(snapshot, access)
+        best = min(in_range, key=lambda s: latencies.get(s, float("inf")))
+        latency = latencies.get(best)
+        if latency is None:
+            return None
+        return best, in_range[best], latency
+
+    def _record(
+        self,
+        object_id: str,
+        t_s: float,
+        source: LookupSource,
+        satellite: int | None,
+        hops: int,
+        rtt_ms: float,
+    ) -> ServedRequest:
+        if source is LookupSource.ACCESS_SATELLITE:
+            self.stats.access_hits += 1
+        elif source is LookupSource.DIRECT_VISIBLE:
+            self.stats.direct_hits += 1
+        elif source is LookupSource.ISL_NEIGHBOR:
+            self.stats.isl_hits += 1
+        else:
+            self.stats.ground_fetches += 1
+        self.stats.rtt_samples_ms.append(rtt_ms)
+        return ServedRequest(
+            object_id=object_id,
+            t_s=t_s,
+            source=source,
+            serving_satellite=satellite,
+            isl_hops=hops,
+            rtt_ms=rtt_ms,
+        )

@@ -1,0 +1,162 @@
+"""Content wormholing: bulk distribution via satellite trajectories (§5).
+
+The paper: "content providers can leverage the natural trajectory of
+satellite caches to distribute geographically-relevant content without
+traversing either WAN or ISL links — opening dimensions for content
+wormholing." A satellite loads a bundle while over the source region,
+physically carries it along its orbit, and downlinks it when its footprint
+reaches the destination — an orbital sneakernet whose bandwidth-delay
+product is enormous (terabytes per pass at ~quarter-orbit latency).
+
+:class:`WormholePlanner` finds the best such relay and compares its
+delivery time against a WAN transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constants import FIBER_SPEED_KM_S
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint, great_circle_km
+from repro.orbits.walker import Constellation
+
+
+@dataclass(frozen=True)
+class WormholePlan:
+    """One planned orbital content relay."""
+
+    satellite: int
+    load_start_s: float
+    load_end_s: float
+    unload_start_s: float
+    unload_end_s: float
+
+    @property
+    def carry_time_s(self) -> float:
+        """Time the content rides the satellite between footprints."""
+        return self.unload_start_s - self.load_end_s
+
+    @property
+    def delivery_time_s(self) -> float:
+        """Start of loading to end of unloading."""
+        return self.unload_end_s - self.load_start_s
+
+
+@dataclass
+class WormholePlanner:
+    """Plans orbital bulk-content relays between two ground regions."""
+
+    constellation: Constellation
+    footprint_radius_km: float = 940.0
+    """Ground radius within which a satellite can exchange traffic with a
+    site (the 25-degree-elevation footprint of a 550 km shell)."""
+
+    uplink_gbps: float = 4.0
+    downlink_gbps: float = 8.0
+    scan_step_s: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.footprint_radius_km <= 0:
+            raise ConfigurationError("footprint radius must be positive")
+        if self.uplink_gbps <= 0 or self.downlink_gbps <= 0:
+            raise ConfigurationError("link rates must be positive")
+        if self.scan_step_s <= 0:
+            raise ConfigurationError("scan step must be positive")
+
+    def transfer_time_s(self, bundle_gb: float, rate_gbps: float) -> float:
+        """Seconds to move ``bundle_gb`` gigabytes at ``rate_gbps``."""
+        if bundle_gb <= 0:
+            raise ConfigurationError("bundle size must be positive")
+        return bundle_gb * 8.0 / rate_gbps
+
+    def _overflight_windows(
+        self, point: GeoPoint, start_s: float, horizon_s: float
+    ) -> dict[int, list[tuple[float, float]]]:
+        """Per-satellite intervals whose sub-satellite track is within the
+        footprint radius of ``point``."""
+        times = np.arange(start_s, start_s + horizon_s + self.scan_step_s / 2, self.scan_step_s)
+        windows: dict[int, list[tuple[float, float]]] = {}
+        open_since: dict[int, float] = {}
+        for t in times:
+            tracks = self.constellation.subsatellite_points(float(t))
+            distances = np.array(
+                [
+                    great_circle_km(point, GeoPoint(float(lat), float(lon)))
+                    for lat, lon in tracks
+                ]
+            )
+            inside = set(np.flatnonzero(distances <= self.footprint_radius_km).tolist())
+            for sat in inside:
+                open_since.setdefault(sat, float(t))
+            for sat in list(open_since):
+                if sat not in inside:
+                    windows.setdefault(sat, []).append((open_since.pop(sat), float(t)))
+        for sat, since in open_since.items():
+            windows.setdefault(sat, []).append((since, float(times[-1])))
+        return windows
+
+    def plan(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        bundle_gb: float,
+        start_s: float = 0.0,
+        horizon_s: float = 5700.0,
+    ) -> WormholePlan:
+        """The earliest-completing relay within ``horizon_s``.
+
+        Raises :class:`VisibilityError` when no satellite passes over both
+        regions (with enough pass time to move the bundle) in the horizon.
+        """
+        load_needed = self.transfer_time_s(bundle_gb, self.uplink_gbps)
+        unload_needed = self.transfer_time_s(bundle_gb, self.downlink_gbps)
+        src_windows = self._overflight_windows(source, start_s, horizon_s)
+        dst_windows = self._overflight_windows(destination, start_s, horizon_s)
+
+        best: WormholePlan | None = None
+        for sat, loads in src_windows.items():
+            unloads = dst_windows.get(sat)
+            if not unloads:
+                continue
+            for load_start, load_end in loads:
+                if load_end - load_start < load_needed:
+                    continue
+                load_done = load_start + load_needed
+                for unload_start, unload_end in unloads:
+                    if unload_start < load_done:
+                        continue  # must load first
+                    if unload_end - unload_start < unload_needed:
+                        continue
+                    plan = WormholePlan(
+                        satellite=sat,
+                        load_start_s=load_start,
+                        load_end_s=load_done,
+                        unload_start_s=unload_start,
+                        unload_end_s=unload_start + unload_needed,
+                    )
+                    if best is None or plan.unload_end_s < best.unload_end_s:
+                        best = plan
+                    break  # later windows for this sat only finish later
+        if best is None:
+            raise VisibilityError(
+                "no satellite relays the bundle between the regions within "
+                f"{horizon_s:.0f}s"
+            )
+        return best
+
+    def wan_delivery_time_s(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        bundle_gb: float,
+        wan_gbps: float = 1.0,
+    ) -> float:
+        """Delivery time of the same bundle over the terrestrial WAN."""
+        if wan_gbps <= 0:
+            raise ConfigurationError("WAN rate must be positive")
+        distance = great_circle_km(source, destination)
+        propagation_s = distance * 1.5 / FIBER_SPEED_KM_S  # circuity 1.5
+        return propagation_s + self.transfer_time_s(bundle_gb, wan_gbps)

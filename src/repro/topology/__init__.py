@@ -1,0 +1,50 @@
+"""Constellation topology: ISL wiring, snapshot graphs, routing, ground nodes."""
+
+from repro.topology.isl import (
+    IslLink,
+    plus_grid_links,
+    links_for_satellite,
+    nearest_cross_plane_offset,
+)
+from repro.topology.graph import (
+    SnapshotGraph,
+    build_snapshot,
+    isl_latency_ms,
+    access_latency_ms,
+)
+from repro.topology.routing import (
+    RouteResult,
+    shortest_path,
+    hop_distances,
+    latency_by_hop_count,
+    min_latency_at_hops,
+)
+from repro.topology.endtoend import GraphPathRouter, EndToEndPath
+from repro.topology.ground import (
+    UserTerminal,
+    GroundStation,
+    PointOfPresence,
+    GroundSegment,
+)
+
+__all__ = [
+    "IslLink",
+    "plus_grid_links",
+    "links_for_satellite",
+    "nearest_cross_plane_offset",
+    "SnapshotGraph",
+    "build_snapshot",
+    "isl_latency_ms",
+    "access_latency_ms",
+    "RouteResult",
+    "shortest_path",
+    "hop_distances",
+    "latency_by_hop_count",
+    "min_latency_at_hops",
+    "UserTerminal",
+    "GroundStation",
+    "PointOfPresence",
+    "GroundSegment",
+    "GraphPathRouter",
+    "EndToEndPath",
+]

@@ -1,0 +1,107 @@
+"""End-to-end graph routing: user terminal -> space segment -> gateway -> PoP.
+
+The analytic bent-pipe model (:mod:`repro.network.bentpipe`) resolves paths
+structurally; this module routes the same paths over the *actual* snapshot
+graph — terminal and gateways attached to every visible satellite, Dijkstra
+through the ISLs — giving the high-fidelity number the analytic model is
+calibrated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import MIN_ELEVATION_GS_DEG, MIN_ELEVATION_USER_DEG
+from repro.errors import RoutingError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.datasets import City, assigned_pop
+from repro.topology.graph import SnapshotGraph
+from repro.topology.ground import GroundSegment
+from repro.topology.routing import shortest_path
+
+
+@dataclass(frozen=True)
+class EndToEndPath:
+    """A graph-routed path from a terminal to its PoP."""
+
+    pop_name: str
+    gateway_name: str
+    satellite_hops: int
+    one_way_ms: float
+    path: tuple
+
+
+@dataclass
+class GraphPathRouter:
+    """Routes user terminals to their assigned PoP over a snapshot graph.
+
+    The snapshot is mutated (ground nodes get attached); use a dedicated
+    snapshot per router, not a shared cached one.
+    """
+
+    snapshot: SnapshotGraph
+    ground: GroundSegment = field(default_factory=GroundSegment.from_gazetteer)
+    _attached: set[str] = field(default_factory=set, repr=False)
+
+    def _attach_terminal(self, name: str, point: GeoPoint) -> str:
+        node = f"ut:{name}"
+        if node not in self._attached:
+            self.snapshot.attach_ground_node(
+                node, point, min_elevation_deg=MIN_ELEVATION_USER_DEG, max_links=4
+            )
+            self._attached.add(node)
+        return node
+
+    def _attach_gateways(self, pop_name: str) -> list[tuple[str, float]]:
+        """Attach every gateway of a PoP; returns (node, backhaul one-way ms)."""
+        nodes = []
+        for gateway in self.ground.stations_for_pop(pop_name):
+            node = gateway.node_name
+            if node not in self._attached:
+                try:
+                    self.snapshot.attach_ground_node(
+                        node,
+                        gateway.location,
+                        min_elevation_deg=MIN_ELEVATION_GS_DEG,
+                        max_links=8,
+                    )
+                except VisibilityError:
+                    continue  # gateway outside this shell's coverage band
+                self._attached.add(node)
+            nodes.append((node, gateway.backhaul_latency_ms()))
+        return nodes
+
+    def route_city(self, city: City) -> EndToEndPath:
+        """Route a terminal in ``city`` to its assigned PoP through space.
+
+        Picks, over every reachable gateway of the assigned PoP, the
+        minimum total latency (space path + fiber backhaul).
+        """
+        pop = assigned_pop(city.iso2, city.lat_deg, city.lon_deg)
+        terminal = self._attach_terminal(city.name, city.location)
+        gateways = self._attach_gateways(pop.name)
+        if not gateways:
+            raise RoutingError(f"no gateway of PoP {pop.name!r} sees the constellation")
+
+        best: EndToEndPath | None = None
+        for gateway_node, backhaul_ms in gateways:
+            try:
+                route = shortest_path(self.snapshot, terminal, gateway_node)
+            except RoutingError:
+                continue
+            total = route.latency_ms + backhaul_ms + self.ground.pop_named(
+                pop.name
+            ).processing_delay_ms
+            if best is None or total < best.one_way_ms:
+                best = EndToEndPath(
+                    pop_name=pop.name,
+                    gateway_name=gateway_node.removeprefix("gs:"),
+                    satellite_hops=max(0, route.hops - 2),
+                    one_way_ms=total,
+                    path=route.path,
+                )
+        if best is None:
+            raise RoutingError(
+                f"no space path from {city.name} to any gateway of {pop.name!r}"
+            )
+        return best

@@ -1,0 +1,142 @@
+"""Time-snapshot network graphs over the constellation.
+
+A :class:`SnapshotGraph` freezes the constellation at one instant: satellite
+nodes connected by +Grid ISLs weighted with one-way latency (speed-of-light
+propagation over the current link length, plus optical-terminal switching),
+optionally joined by ground nodes (user terminals, gateways) attached to
+every satellite they can currently see.
+
+Node naming: satellites are integer indices; ground nodes are strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import networkx as nx
+import numpy as np
+
+from repro.constants import (
+    ISL_HOP_PROCESSING_MS,
+    MIN_ELEVATION_USER_DEG,
+    SPEED_OF_LIGHT_KM_S,
+    STARLINK_PROCESSING_DELAY_MS,
+    STARLINK_SCHEDULING_DELAY_MS,
+)
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.walker import Constellation
+from repro.topology.isl import plus_grid_links
+
+
+def isl_latency_ms(distance_km: float) -> float:
+    """One-way latency of an optical ISL of the given length.
+
+    Free-space optical links run at vacuum light speed; each hop adds a small
+    switching delay at the receiving optical terminal.
+    """
+    if distance_km < 0:
+        raise ConfigurationError(f"negative ISL length: {distance_km}")
+    return distance_km / SPEED_OF_LIGHT_KM_S * 1000.0 + ISL_HOP_PROCESSING_MS
+
+
+def access_latency_ms(slant_range_km: float) -> float:
+    """One-way latency of the Ku-band access link (terminal <-> satellite).
+
+    Radio propagation at c plus the MAC scheduling delay (the terminal must
+    wait for its uplink grant) and satellite processing.
+    """
+    if slant_range_km < 0:
+        raise ConfigurationError(f"negative slant range: {slant_range_km}")
+    return (
+        slant_range_km / SPEED_OF_LIGHT_KM_S * 1000.0
+        + STARLINK_SCHEDULING_DELAY_MS
+        + STARLINK_PROCESSING_DELAY_MS
+    )
+
+
+@dataclass
+class SnapshotGraph:
+    """The constellation graph at a single instant.
+
+    ``graph`` edge weights are one-way latencies in milliseconds under the
+    key ``"latency_ms"``; satellite positions at the snapshot instant are
+    cached for distance queries.
+    """
+
+    constellation: Constellation
+    t_s: float
+    graph: nx.Graph
+    positions: np.ndarray
+    ground_nodes: dict[str, GeoPoint] = field(default_factory=dict)
+
+    def satellite_nodes(self) -> list[int]:
+        """All satellite node indices."""
+        return [n for n in self.graph.nodes if isinstance(n, int)]
+
+    def attach_ground_node(
+        self,
+        name: str,
+        point: GeoPoint,
+        min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+        max_links: int | None = None,
+    ) -> list[int]:
+        """Attach a ground node to every satellite it can currently see.
+
+        Returns the satellite indices linked. Raises
+        :class:`VisibilityError` when no satellite is visible.
+        """
+        from repro.orbits.visibility import visible_satellites
+
+        if name in self.graph:
+            raise ConfigurationError(f"ground node {name!r} already attached")
+        visible = visible_satellites(
+            self.constellation, point, self.t_s, min_elevation_deg
+        )
+        if not visible:
+            raise VisibilityError(f"no satellite visible from ground node {name!r}")
+        if max_links is not None:
+            visible = visible[:max_links]
+
+        self.graph.add_node(name)
+        self.ground_nodes[name] = point
+        linked = []
+        for sat in visible:
+            self.graph.add_edge(
+                name,
+                sat.index,
+                latency_ms=access_latency_ms(sat.slant_range_km),
+                kind="access",
+            )
+            linked.append(sat.index)
+        return linked
+
+    def edge_latency_ms(self, a: Hashable, b: Hashable) -> float:
+        """One-way latency of the edge between two adjacent nodes."""
+        return float(self.graph[a][b]["latency_ms"])
+
+
+def build_snapshot(constellation: Constellation, t_s: float) -> SnapshotGraph:
+    """Build the ISL graph of the constellation at time ``t_s``.
+
+    Nodes are satellite indices; every +Grid link is weighted with its
+    current one-way latency.
+    """
+    positions = constellation.positions_ecef(t_s)
+    links = plus_grid_links(constellation.config)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(len(constellation)))
+    for link in links:
+        distance = float(np.linalg.norm(positions[link.a] - positions[link.b]))
+        graph.add_edge(
+            link.a,
+            link.b,
+            latency_ms=isl_latency_ms(distance),
+            kind=link.kind,
+            distance_km=distance,
+        )
+    return SnapshotGraph(
+        constellation=constellation, t_s=t_s, graph=graph, positions=positions
+    )

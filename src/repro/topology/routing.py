@@ -1,0 +1,110 @@
+"""Routing over snapshot graphs.
+
+Two complementary views of "distance" coexist in the experiments:
+
+* *latency* — Dijkstra over one-way edge latencies, used for end-to-end RTTs;
+* *ISL hop count* — unweighted BFS over satellite-satellite edges, used by
+  the SpaceCDN lookup ("content found within n ISL hops", paper Fig. 7).
+
+``latency_by_hop_count`` joins the two: the cheapest latency at which content
+placed exactly n hops from the access satellite can be reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+import networkx as nx
+
+from repro.errors import RoutingError
+from repro.topology.graph import SnapshotGraph
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """A routed path and its one-way latency."""
+
+    path: tuple[Hashable, ...]
+    latency_ms: float
+
+    @property
+    def hops(self) -> int:
+        """Number of edges traversed."""
+        return len(self.path) - 1
+
+
+def shortest_path(snapshot: SnapshotGraph, src: Hashable, dst: Hashable) -> RouteResult:
+    """Minimum-latency path between two nodes of a snapshot graph."""
+    try:
+        latency, path = nx.single_source_dijkstra(
+            snapshot.graph, src, dst, weight="latency_ms"
+        )
+    except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+        raise RoutingError(f"no route {src!r} -> {dst!r}: {exc}") from exc
+    return RouteResult(path=tuple(path), latency_ms=float(latency))
+
+
+def hop_distances(snapshot: SnapshotGraph, source: int) -> dict[int, int]:
+    """BFS hop count from ``source`` to every satellite, over ISL edges only.
+
+    Ground nodes and access links are excluded: a "hop" in the paper's
+    Fig. 7 sense is an ISL traversal.
+    """
+    if source not in snapshot.graph:
+        raise RoutingError(f"unknown source satellite {source}")
+    sat_graph = snapshot.graph.subgraph(snapshot.satellite_nodes())
+    return {
+        int(node): int(d)
+        for node, d in nx.single_source_shortest_path_length(sat_graph, source).items()
+    }
+
+
+def satellite_latencies(snapshot: SnapshotGraph, source: int) -> dict[int, float]:
+    """Dijkstra one-way latency from ``source`` to every satellite (ISLs only)."""
+    if source not in snapshot.graph:
+        raise RoutingError(f"unknown source satellite {source}")
+    sat_graph = snapshot.graph.subgraph(snapshot.satellite_nodes())
+    return {
+        int(node): float(d)
+        for node, d in nx.single_source_dijkstra_path_length(
+            sat_graph, source, weight="latency_ms"
+        ).items()
+    }
+
+
+def latency_by_hop_count(
+    snapshot: SnapshotGraph, source: int, max_hops: int
+) -> dict[int, float]:
+    """For each hop count h <= max_hops, the minimum one-way latency from
+    ``source`` to any satellite exactly h ISL hops away.
+
+    Hop 0 maps to 0.0 ms (content on the access satellite itself).
+    """
+    if max_hops < 0:
+        raise RoutingError(f"max_hops must be non-negative, got {max_hops}")
+    hops = hop_distances(snapshot, source)
+    latencies = satellite_latencies(snapshot, source)
+    result: dict[int, float] = {}
+    for node, h in hops.items():
+        if h > max_hops:
+            continue
+        latency = latencies.get(node)
+        if latency is None:
+            continue
+        best = result.get(h)
+        if best is None or latency < best:
+            result[h] = latency
+    return result
+
+
+def min_latency_at_hops(
+    snapshot: SnapshotGraph, source: int, hop_count: int
+) -> float:
+    """Minimum one-way latency to reach any satellite exactly ``hop_count`` hops away."""
+    table = latency_by_hop_count(snapshot, source, hop_count)
+    if hop_count not in table:
+        raise RoutingError(
+            f"no satellite exactly {hop_count} hops from {source} in this snapshot"
+        )
+    return table[hop_count]

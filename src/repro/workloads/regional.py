@@ -1,0 +1,52 @@
+"""Regional request mixing: which region's content a city's users ask for.
+
+Content interest is strongly local (the paper's Boca Juniors example): a
+client mostly requests its own region's catalog, with a small spill into
+global and foreign content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geo.datasets import City
+from repro.spacecdn.bubbles import RegionalPopularity
+
+
+def region_of_city(city: City) -> str:
+    """The gazetteer region a city's content interest is affine to."""
+    return city.country.region
+
+
+@dataclass
+class RegionalRequestMixer:
+    """Draws object ids for clients in specific cities.
+
+    Thin composition over :class:`RegionalPopularity`: the city fixes the
+    home region, the popularity model handles rank skew and cross-region
+    spill.
+    """
+
+    popularity: RegionalPopularity
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def sample_for_city(self, city: City) -> str:
+        """One requested object id for a client in ``city``."""
+        region = region_of_city(city)
+        if region not in self.popularity.regions():
+            # Fall back to any region with content rather than failing the
+            # stream: the catalog may not model every gazetteer region.
+            regions = self.popularity.regions()
+            if not regions:
+                raise ConfigurationError("catalog has no regional content")
+            region = regions[int(self.rng.integers(len(regions)))]
+        return self.popularity.sample(region)
+
+    def stream_for_city(self, city: City, count: int) -> list[str]:
+        """``count`` requested object ids for a city."""
+        if count < 0:
+            raise ConfigurationError(f"negative count: {count}")
+        return [self.sample_for_city(city) for _ in range(count)]

@@ -1,0 +1,54 @@
+"""Zipf popularity over a finite catalog.
+
+Web and video request popularity is classically Zipf-like with exponent
+around 0.7-1.0; the CDN experiments use it to decide what is worth caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ZipfDistribution:
+    """Finite Zipf: P(rank k) proportional to k^-s over n items."""
+
+    n: int
+    s: float = 0.9
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    _probs: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.s <= 0:
+            raise ConfigurationError(f"s must be positive, got {self.s}")
+        ranks = np.arange(1, self.n + 1, dtype=float)
+        weights = ranks**-self.s
+        self._probs = weights / weights.sum()
+
+    def pmf(self, rank: int) -> float:
+        """Probability of the 1-based ``rank``."""
+        if not 1 <= rank <= self.n:
+            raise ConfigurationError(f"rank {rank} outside [1, {self.n}]")
+        return float(self._probs[rank - 1])
+
+    def sample(self) -> int:
+        """Draw one 1-based rank."""
+        return int(self.rng.choice(self.n, p=self._probs)) + 1
+
+    def sample_many(self, count: int) -> np.ndarray:
+        """Draw ``count`` 1-based ranks."""
+        if count < 0:
+            raise ConfigurationError(f"negative count: {count}")
+        return self.rng.choice(self.n, size=count, p=self._probs) + 1
+
+    def head_mass(self, top_k: int) -> float:
+        """Total probability mass of the ``top_k`` most popular items."""
+        if not 1 <= top_k <= self.n:
+            raise ConfigurationError(f"top_k {top_k} outside [1, {self.n}]")
+        return float(self._probs[:top_k].sum())

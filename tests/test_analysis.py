@@ -1,0 +1,128 @@
+"""Tests for analysis helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Cdf, delta_by_group, median_or_nan, summarize
+from repro.analysis.tables import format_cdf_points, format_table
+from repro.errors import ConfigurationError
+
+
+class TestSummarize:
+    def test_basic_stats(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.minimum == 1.0
+        assert summary.median == 3.0
+        assert summary.maximum == 5.0
+        assert summary.mean == 3.0
+
+    def test_percentile_order(self):
+        rng = np.random.default_rng(0)
+        summary = summarize(rng.lognormal(3.0, 1.0, size=500))
+        assert (
+            summary.minimum
+            <= summary.p25
+            <= summary.median
+            <= summary.p75
+            <= summary.p95
+            <= summary.maximum
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+
+class TestMedianOrNan:
+    def test_median(self):
+        assert median_or_nan([1.0, 3.0, 2.0]) == 2.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(median_or_nan([]))
+
+
+class TestCdf:
+    def test_at(self):
+        cdf = Cdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(2.0) == 0.5
+        assert cdf.at(10.0) == 1.0
+
+    def test_quantile(self):
+        cdf = Cdf.from_samples(list(range(101)))
+        assert cdf.quantile(0.0) == 0.0
+        assert cdf.quantile(0.5) == 50.0
+        assert cdf.quantile(1.0) == 100.0
+
+    def test_quantile_out_of_range(self):
+        cdf = Cdf.from_samples([1.0])
+        with pytest.raises(ConfigurationError):
+            cdf.quantile(1.5)
+
+    def test_points_monotone(self):
+        cdf = Cdf.from_samples(np.random.default_rng(0).normal(size=200))
+        points = cdf.points(20)
+        values = [v for v, _ in points]
+        probs = [q for _, q in points]
+        assert values == sorted(values)
+        assert probs == sorted(probs)
+
+    def test_points_too_few_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cdf.from_samples([1.0]).points(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cdf.from_samples([])
+
+    def test_len(self):
+        assert len(Cdf.from_samples([1.0, 2.0])) == 2
+
+
+class TestDeltaByGroup:
+    def test_paper_arithmetic(self):
+        starlink = {"MZ": [100.0, 160.0, 120.0], "ES": [33.0, 35.0]}
+        terrestrial = {"MZ": [20.0, 22.0], "ES": [14.0, 15.0], "ZA": [30.0]}
+        deltas = delta_by_group(starlink, terrestrial)
+        assert set(deltas) == {"MZ", "ES"}  # ZA unmeasured on Starlink
+        assert deltas["MZ"] == pytest.approx(120.0 - 21.0)
+        assert deltas["ES"] == pytest.approx(34.0 - 14.5)
+
+    def test_empty_groups_skipped(self):
+        assert delta_by_group({"A": []}, {"A": [1.0]}) == {}
+
+
+class TestFormatTable:
+    def test_renders_aligned(self):
+        table = format_table(("name", "value"), [("a", 1.5), ("bb", 22.25)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert "22.2" in lines[3]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table(("one",), [("a", "b")])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table((), [])
+
+    def test_empty_rows_ok(self):
+        table = format_table(("a", "b"), [])
+        assert "a" in table
+
+
+class TestFormatCdfPoints:
+    def test_renders_series(self):
+        cdf = Cdf.from_samples([1.0, 2.0, 3.0])
+        text = format_cdf_points({"starlink": cdf.points(5)})
+        assert "starlink" in text
+        assert "q=0.50" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_cdf_points({})

@@ -1,0 +1,81 @@
+"""Tests for ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plot import ascii_cdf, ascii_histogram
+from repro.analysis.stats import Cdf
+from repro.errors import ConfigurationError
+
+
+class TestAsciiCdf:
+    @pytest.fixture
+    def series(self):
+        rng = np.random.default_rng(0)
+        return {
+            "starlink": Cdf.from_samples(rng.normal(100.0, 10.0, 300)),
+            "terrestrial": Cdf.from_samples(rng.normal(30.0, 5.0, 300)),
+        }
+
+    def test_renders_dimensions(self, series):
+        plot = ascii_cdf(series, width=60, height=12)
+        lines = plot.splitlines()
+        # height rows + axis + x-label + legend
+        assert len(lines) == 12 + 3
+        assert all(len(line) <= 60 + 10 for line in lines)
+
+    def test_legend_contains_names(self, series):
+        plot = ascii_cdf(series)
+        assert "s=starlink" in plot
+        assert "t=terrestrial" in plot
+
+    def test_faster_series_appears_left(self, series):
+        plot = ascii_cdf(series, width=60, height=12)
+        rows = plot.splitlines()[:3]  # high-probability region of the plot
+
+        def leftmost(marker: str) -> int:
+            return min(
+                (row.index(marker) for row in rows if marker in row),
+                default=10**9,
+            )
+
+        # Terrestrial reaches high cumulative probability at smaller x.
+        assert leftmost("t") < leftmost("s")
+
+    def test_explicit_x_max(self, series):
+        plot = ascii_cdf(series, x_max=200.0)
+        assert "200.0" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_cdf({})
+
+    def test_tiny_dimensions_rejected(self, series):
+        with pytest.raises(ConfigurationError):
+            ascii_cdf(series, width=5, height=2)
+
+    def test_invalid_x_max_rejected(self, series):
+        with pytest.raises(ConfigurationError):
+            ascii_cdf(series, x_max=0.0)
+
+
+class TestAsciiHistogram:
+    def test_renders_bins(self):
+        samples = list(np.random.default_rng(1).exponential(10.0, 500))
+        plot = ascii_histogram(samples, bins=8)
+        assert len(plot.splitlines()) == 8
+        assert "#" in plot
+
+    def test_counts_sum(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0]
+        plot = ascii_histogram(samples, bins=5)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in plot.splitlines()]
+        assert sum(counts) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([])
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_histogram([1.0], bins=1)

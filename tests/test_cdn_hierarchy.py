@@ -1,0 +1,103 @@
+"""Tests for the two-tier CDN hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.cdn.content import build_catalog
+from repro.cdn.hierarchy import CdnHierarchy
+from repro.cdn.server import OriginServer
+from repro.errors import ConfigurationError, ContentNotFoundError, DatasetError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.datasets import cdn_site_by_name
+
+
+@pytest.fixture
+def hierarchy():
+    catalog = build_catalog(np.random.default_rng(0), 40, kind_weights={"web": 1.0})
+    origin = OriginServer(catalog=catalog, location=GeoPoint(39.0, -77.5))
+    h = CdnHierarchy(origin=origin)
+    for name in ("Frankfurt", "London", "Maputo", "Johannesburg"):
+        h.add_edge(cdn_site_by_name(name))
+    return h
+
+
+class TestTopology:
+    def test_edges_registered(self, hierarchy):
+        assert hierarchy.edge_names() == [
+            "Frankfurt",
+            "Johannesburg",
+            "London",
+            "Maputo",
+        ]
+
+    def test_duplicate_edge_rejected(self, hierarchy):
+        with pytest.raises(ConfigurationError):
+            hierarchy.add_edge(cdn_site_by_name("Frankfurt"))
+
+    def test_region_grouping(self, hierarchy):
+        assert hierarchy.region_of(cdn_site_by_name("Frankfurt")) == "europe"
+        assert hierarchy.region_of(cdn_site_by_name("Maputo")) == "africa"
+
+    def test_invalid_capacities(self):
+        catalog = build_catalog(np.random.default_rng(1), 5)
+        origin = OriginServer(catalog=catalog, location=GeoPoint(0.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            CdnHierarchy(origin=origin, edge_cache_bytes=0)
+
+
+class TestServePath:
+    def test_cold_request_hits_origin(self, hierarchy):
+        result = hierarchy.serve("Frankfurt", "obj-000001")
+        assert result.level == "origin"
+
+    def test_second_request_same_edge_hits_edge(self, hierarchy):
+        hierarchy.serve("Frankfurt", "obj-000001")
+        result = hierarchy.serve("Frankfurt", "obj-000001")
+        assert result.level == "edge"
+
+    def test_sibling_edge_hits_parent(self, hierarchy):
+        hierarchy.serve("Frankfurt", "obj-000001")
+        result = hierarchy.serve("London", "obj-000001")
+        assert result.level == "parent"  # same europe parent, different edge
+
+    def test_cross_region_edge_misses_parent(self, hierarchy):
+        # The PoP mis-mapping effect: content warm in Europe does not help
+        # the Africa parent tier.
+        hierarchy.serve("Frankfurt", "obj-000001")
+        result = hierarchy.serve("Maputo", "obj-000001")
+        assert result.level == "origin"
+
+    def test_latency_ordering(self, hierarchy):
+        origin_result = hierarchy.serve("Frankfurt", "obj-000002")
+        parent_result = hierarchy.serve("London", "obj-000002")
+        edge_result = hierarchy.serve("London", "obj-000002")
+        assert (
+            edge_result.latency_ms
+            < parent_result.latency_ms
+            < origin_result.latency_ms
+        )
+
+    def test_unknown_edge_rejected(self, hierarchy):
+        with pytest.raises(DatasetError):
+            hierarchy.serve("Atlantis", "obj-000001")
+
+    def test_unknown_object_propagates(self, hierarchy):
+        with pytest.raises(ContentNotFoundError):
+            hierarchy.serve("Frankfurt", "ghost")
+
+
+class TestWanOffload:
+    def test_zero_before_traffic(self, hierarchy):
+        assert hierarchy.wan_offload_ratio() == 0.0
+
+    def test_offload_grows_with_locality(self, hierarchy):
+        # Zipf-ish repeated requests to one edge: most served locally.
+        ids = [f"obj-{i % 5:06d}" for i in range(50)]
+        for object_id in ids:
+            hierarchy.serve("Frankfurt", object_id)
+        assert hierarchy.wan_offload_ratio() > 0.85
+
+    def test_stats_sum(self, hierarchy):
+        for i in range(10):
+            hierarchy.serve("Maputo", f"obj-{i:06d}")
+        assert sum(hierarchy.stats.values()) == 10

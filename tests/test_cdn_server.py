@@ -1,0 +1,90 @@
+"""Tests for CDN and origin servers."""
+
+import numpy as np
+import pytest
+
+from repro.cdn.cache import LruCache
+from repro.cdn.content import Catalog, ContentObject, build_catalog
+from repro.cdn.server import CdnServer, OriginServer
+from repro.errors import ContentNotFoundError
+from repro.geo.coordinates import GeoPoint
+from repro.geo.datasets import cdn_site_by_name
+
+
+@pytest.fixture
+def origin() -> OriginServer:
+    catalog = build_catalog(np.random.default_rng(0), 50)
+    return OriginServer(catalog=catalog, location=GeoPoint(39.04, -77.49))
+
+
+@pytest.fixture
+def server(origin) -> CdnServer:
+    return CdnServer(
+        site=cdn_site_by_name("Frankfurt"),
+        origin=origin,
+        cache=LruCache(capacity_bytes=10**9),
+    )
+
+
+class TestOriginServer:
+    def test_fetch_known(self, origin):
+        assert origin.fetch("obj-000001").object_id == "obj-000001"
+
+    def test_fetch_unknown_raises(self, origin):
+        with pytest.raises(ContentNotFoundError):
+            origin.fetch("missing")
+
+    def test_fetch_latency_grows_with_distance(self, origin):
+        near = origin.fetch_latency_ms(GeoPoint(40.71, -74.01))  # New York
+        far = origin.fetch_latency_ms(GeoPoint(35.68, 139.69))  # Tokyo
+        assert far > near
+        assert near >= origin.think_time_ms
+
+
+class TestCdnServer:
+    def test_first_request_is_miss_with_origin_fill(self, server):
+        result = server.serve("obj-000003")
+        assert not result.hit
+        assert result.origin_distance_km > 0
+        assert result.server_latency_ms > server.think_time_ms
+
+    def test_second_request_is_hit(self, server):
+        server.serve("obj-000003")
+        result = server.serve("obj-000003")
+        assert result.hit
+        assert result.server_latency_ms == server.think_time_ms
+        assert result.origin_distance_km == 0.0
+
+    def test_unknown_object_propagates(self, server):
+        with pytest.raises(ContentNotFoundError):
+            server.serve("missing")
+
+    def test_miss_latency_exceeds_hit_latency(self, server):
+        miss = server.serve("obj-000007")
+        hit = server.serve("obj-000007")
+        assert miss.server_latency_ms > hit.server_latency_ms + 10.0
+
+    def test_warm_loads_objects(self, server):
+        loaded = server.warm(["obj-000001", "obj-000002", "missing"])
+        assert loaded == 2
+        assert server.serve("obj-000001").hit
+
+    def test_cache_stats_reflect_traffic(self, server):
+        server.serve("obj-000001")
+        server.serve("obj-000001")
+        server.serve("obj-000002")
+        assert server.cache.stats.hits == 1
+        assert server.cache.stats.misses == 2
+
+    def test_eviction_under_small_cache(self, origin):
+        # A cache big enough for only a few objects keeps churning.
+        sizes = sorted(o.size_bytes for o in origin.catalog)
+        server = CdnServer(
+            site=cdn_site_by_name("Frankfurt"),
+            origin=origin,
+            cache=LruCache(capacity_bytes=max(sizes) * 2),
+        )
+        for content in origin.catalog:
+            server.serve(content.object_id)
+        assert server.cache.used_bytes <= server.cache.capacity_bytes
+        assert server.cache.stats.evictions > 0

@@ -1,0 +1,177 @@
+"""Tests for the SpaceCDN economics models."""
+
+import pytest
+
+from repro.economics.costs import (
+    DeliveryCostModel,
+    SpaceCdnCostParams,
+    TerrestrialCostParams,
+)
+from repro.economics.metacdn import MetaCdnOperator
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model() -> DeliveryCostModel:
+    return DeliveryCostModel()
+
+
+class TestCostParams:
+    def test_amortisation(self):
+        params = SpaceCdnCostParams(
+            payload_capex_usd=100_000.0,
+            payload_lifetime_years=5.0,
+            payload_power_opex_usd_per_year=5_000.0,
+        )
+        assert params.amortised_usd_per_year == pytest.approx(25_000.0)
+
+    def test_invalid_lifetime(self):
+        with pytest.raises(ConfigurationError):
+            SpaceCdnCostParams(payload_lifetime_years=0.0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpaceCdnCostParams(payload_capex_usd=-1.0)
+        with pytest.raises(ConfigurationError):
+            TerrestrialCostParams(edge_egress_usd_per_gb=-0.01)
+
+
+class TestSpaceCdnCost:
+    def test_cost_falls_with_demand(self, model):
+        low = model.spacecdn_usd_per_gb(demand_gb_per_month=10_000.0)
+        high = model.spacecdn_usd_per_gb(demand_gb_per_month=10_000_000.0)
+        assert high < low
+
+    def test_cost_rises_with_isl_hops(self, model):
+        near = model.spacecdn_usd_per_gb(1_000_000.0, mean_isl_hops=1.0)
+        far = model.spacecdn_usd_per_gb(1_000_000.0, mean_isl_hops=8.0)
+        assert far > near
+
+    def test_misses_cost_wan_fill(self, model):
+        perfect = model.spacecdn_usd_per_gb(1_000_000.0, space_hit_ratio=1.0)
+        leaky = model.spacecdn_usd_per_gb(1_000_000.0, space_hit_ratio=0.5)
+        assert leaky > perfect
+
+    def test_invalid_args(self, model):
+        with pytest.raises(ConfigurationError):
+            model.spacecdn_usd_per_gb(0.0)
+        with pytest.raises(ConfigurationError):
+            model.spacecdn_usd_per_gb(1.0, space_hit_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            model.spacecdn_usd_per_gb(1.0, mean_isl_hops=-1.0)
+
+
+class TestTerrestrialCost:
+    def test_remote_region_penalty(self, model):
+        local = model.terrestrial_cdn_usd_per_gb(edge_is_local=True)
+        remote = model.terrestrial_cdn_usd_per_gb(edge_is_local=False)
+        assert remote > local + 0.05
+
+    def test_invalid_hit_ratio(self, model):
+        with pytest.raises(ConfigurationError):
+            model.terrestrial_cdn_usd_per_gb(True, cache_hit_ratio=-0.1)
+
+
+class TestBreakdown:
+    def test_remote_high_volume_favours_spacecdn(self, model):
+        # The paper's thesis region: poor terrestrial connectivity, once
+        # demand is pooled over the footprint.
+        breakdown = model.breakdown(
+            demand_gb_per_month=50_000_000.0, edge_is_local=False
+        )
+        assert breakdown.cheapest() == "spacecdn"
+
+    def test_local_edge_low_volume_favours_terrestrial(self, model):
+        breakdown = model.breakdown(
+            demand_gb_per_month=20_000.0, edge_is_local=True
+        )
+        assert breakdown.cheapest() == "terrestrial-cdn"
+
+    def test_origin_never_cheapest_at_scale(self, model):
+        breakdown = model.breakdown(
+            demand_gb_per_month=10_000_000.0, edge_is_local=False
+        )
+        assert breakdown.cheapest() != "origin"
+
+
+class TestBreakeven:
+    def test_breakeven_lower_for_remote_regions(self, model):
+        remote = model.breakeven_demand_gb_per_month(edge_is_local=False)
+        local = model.breakeven_demand_gb_per_month(edge_is_local=True)
+        assert remote < local
+
+    def test_breakeven_is_actual_crossover(self, model):
+        demand = model.breakeven_demand_gb_per_month(edge_is_local=False)
+        below = model.breakdown(demand * 0.5, edge_is_local=False)
+        above = model.breakdown(demand * 2.0, edge_is_local=False)
+        assert below.spacecdn_usd_per_gb > below.terrestrial_cdn_usd_per_gb
+        assert above.spacecdn_usd_per_gb < above.terrestrial_cdn_usd_per_gb
+
+    def test_infinite_when_variable_cost_dominates(self):
+        expensive_space = DeliveryCostModel(
+            space=SpaceCdnCostParams(downlink_opportunity_usd_per_gb=10.0)
+        )
+        assert expensive_space.breakeven_demand_gb_per_month(True) == float("inf")
+
+
+class TestMetaCdn:
+    @pytest.fixture
+    def operator(self) -> MetaCdnOperator:
+        op = MetaCdnOperator(total_cache_bytes=900 * 10**15)  # the fleet's 900 PB
+        op.commit("streaming-service", 600_000.0)
+        op.commit("news-network", 300_000.0)
+        op.commit("game-publisher", 100_000.0)
+        return op
+
+    def test_allocation_proportional(self, operator):
+        allocations = {a.tenant: a for a in operator.allocations(1_000_000.0)}
+        assert allocations["streaming-service"].allocated_bytes == pytest.approx(
+            0.6 * 900e15, rel=1e-6
+        )
+        assert allocations["news-network"].allocated_bytes == pytest.approx(
+            0.3 * 900e15, rel=1e-6
+        )
+
+    def test_uniform_price(self, operator):
+        allocations = operator.allocations(1_000_000.0)
+        prices = {a.price_usd_per_gb for a in allocations}
+        assert len(prices) == 1
+
+    def test_price_includes_margin(self, operator):
+        price = operator.delivery_price_usd_per_gb(1_000_000.0)
+        cost = operator.cost_model.spacecdn_usd_per_gb(1_000_000.0)
+        assert price == pytest.approx(cost * 1.35)
+
+    def test_no_tenants_no_allocations(self):
+        op = MetaCdnOperator(total_cache_bytes=10**12)
+        assert op.allocations(1_000.0) == []
+
+    def test_withdraw(self, operator):
+        operator.withdraw("game-publisher")
+        assert "game-publisher" not in operator.tenants()
+        with pytest.raises(ConfigurationError):
+            operator.withdraw("game-publisher")
+
+    def test_revenue(self, operator):
+        revenue = operator.monthly_revenue_usd(
+            {"streaming-service": 800_000.0, "news-network": 200_000.0}
+        )
+        price = operator.delivery_price_usd_per_gb(1_000_000.0)
+        assert revenue == pytest.approx(price * 1_000_000.0)
+
+    def test_revenue_unknown_tenant_rejected(self, operator):
+        with pytest.raises(ConfigurationError):
+            operator.monthly_revenue_usd({"pirate-tv": 10.0})
+
+    def test_zero_traffic_zero_revenue(self, operator):
+        assert operator.monthly_revenue_usd({}) == 0.0
+
+    def test_invalid_commitment(self, operator):
+        with pytest.raises(ConfigurationError):
+            operator.commit("freeloader", 0.0)
+
+    def test_invalid_operator_config(self):
+        with pytest.raises(ConfigurationError):
+            MetaCdnOperator(total_cache_bytes=0)
+        with pytest.raises(ConfigurationError):
+            MetaCdnOperator(total_cache_bytes=10, margin=-0.1)

@@ -1,0 +1,210 @@
+"""End-to-end tests of the per-figure experiment harnesses (small scale).
+
+Each test asserts the *shape* the paper reports, at reduced sample sizes so
+the suite stays fast. The full-scale reproductions run in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure7,
+    figure8,
+    table1,
+)
+from repro.measurements.aim import STARLINK, TERRESTRIAL
+
+SEED = 7
+TESTS_PER_CITY = 10
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return table1.run(seed=SEED, tests_per_city=TESTS_PER_CITY)
+
+
+@pytest.fixture(scope="module")
+def figure2_result():
+    return figure2.run(seed=SEED, tests_per_city=TESTS_PER_CITY)
+
+
+class TestTable1:
+    def test_all_countries_present(self, table1_result):
+        assert len(table1_result.rows) == 11
+
+    def test_starlink_distance_penalty_where_no_pop(self, table1_result):
+        rows = {r.iso2: r for r in table1_result.rows}
+        for iso2 in ("MZ", "KE", "ZM", "HT", "CY"):
+            assert rows[iso2].starlink_distance_km > 3 * rows[iso2].terrestrial_distance_km
+            assert rows[iso2].starlink_min_rtt_ms > 2 * rows[iso2].terrestrial_min_rtt_ms
+
+    def test_local_pop_countries_near_parity_distance(self, table1_result):
+        rows = {r.iso2: r for r in table1_result.rows}
+        for iso2 in ("ES", "JP"):
+            assert rows[iso2].starlink_distance_km < 600
+            assert rows[iso2].starlink_min_rtt_ms < 45
+
+    def test_mozambique_matches_paper_regime(self, table1_result):
+        row = next(r for r in table1_result.rows if r.iso2 == "MZ")
+        assert 7500 < row.starlink_distance_km < 10000  # paper: 8776 km
+        assert 100 < row.starlink_min_rtt_ms < 170  # paper: 138.7 ms
+
+    def test_format_contains_paper_columns(self, table1_result):
+        text = table1.format_result(table1_result)
+        assert "paper" in text
+        assert "Mozambique" in text
+
+
+class TestFigure2:
+    def test_terrestrial_faster_almost_everywhere(self, figure2_result):
+        positive = sum(1 for d in figure2_result.deltas_ms.values() if d > 0)
+        assert positive / len(figure2_result.deltas_ms) > 0.9
+
+    def test_typical_delta_tens_of_ms(self, figure2_result):
+        # Paper: "typically around 50 ms".
+        assert 25.0 < figure2_result.median_delta_ms() < 70.0
+
+    def test_african_isl_countries_worst(self, figure2_result):
+        # Paper: 120-150 ms deltas in Kenya, Mozambique, Zambia.
+        worst = dict(figure2_result.worst_countries(8))
+        assert {"MZ", "ZM", "KE"} & set(worst)
+        assert figure2_result.deltas_ms["MZ"] > 90.0
+        assert figure2_result.deltas_ms["ZM"] > 70.0
+
+    def test_nigeria_is_the_outlier(self, figure2_result):
+        assert figure2_result.countries_where_starlink_faster() == ["NG"]
+
+    def test_format(self, figure2_result):
+        text = figure2.format_result(figure2_result)
+        assert "delta" in text.lower()
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3.run(seed=SEED, samples_per_site=12)
+
+    def test_starlink_optimal_is_frankfurt(self, result):
+        name, latency = result.optimal_site(STARLINK)
+        assert name == "Frankfurt"
+        assert 130.0 < latency < 190.0  # paper: ~160 ms
+
+    def test_terrestrial_optimal_is_maputo(self, result):
+        name, latency = result.optimal_site(TERRESTRIAL)
+        assert name == "Maputo"
+        assert 10.0 < latency < 35.0  # paper: ~20 ms
+
+    def test_starlink_african_sites_worse_than_frankfurt(self, result):
+        # Paper Fig. 3a: African CDNs exceed 250 ms over Starlink.
+        for site in ("Cape Town", "Johannesburg", "Nairobi"):
+            assert result.starlink_ms[site] > result.starlink_ms["Frankfurt"] + 50.0
+
+    def test_starlink_european_sites_cheaper_than_african(self, result):
+        # Paper: "we observe shorter latencies to other CDN locations in
+        # Europe (e.g. Lisbon)".
+        assert result.starlink_ms["Lisbon"] < result.starlink_ms["Cape Town"]
+
+    def test_terrestrial_johannesburg_regime(self, result):
+        assert 30.0 < result.terrestrial_ms["Johannesburg"] < 90.0  # paper: ~70 ms
+
+    def test_invalid_samples_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            figure3.run(samples_per_site=0)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4.run(seed=SEED, rounds=2)
+
+    def test_countries_present(self, result):
+        assert set(result.differences_ms) == set(figure4.FIGURE4_COUNTRIES)
+
+    def test_terrestrial_wins_in_pop_countries(self, result):
+        for iso2 in ("US", "CA", "GB", "DE"):
+            assert 10.0 < result.median_difference_ms(iso2) < 110.0
+
+    def test_nigeria_starlink_faster(self, result):
+        assert result.median_difference_ms("NG") < 0.0
+        assert result.countries_where_starlink_faster() == ["NG"]
+
+    def test_cdf_accessible(self, result):
+        cdf = result.cdf("DE")
+        assert 0.0 <= cdf.at(0.0) <= 0.3
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure5.run(seed=SEED, rounds=2)
+
+    def test_gap_matches_paper_order(self, result):
+        # Paper: median FCP ~200 ms higher over Starlink in DE and GB.
+        for iso2 in ("DE", "GB"):
+            assert 120.0 < result.median_gap_ms(iso2) < 350.0
+
+    def test_summaries_have_both_isps(self, result):
+        assert ("DE", STARLINK) in result.fcp_summaries
+        assert ("GB", TERRESTRIAL) in result.fcp_summaries
+
+    def test_fcp_magnitudes_sane(self, result):
+        for summary in result.fcp_summaries.values():
+            assert 100.0 < summary.median < 2000.0
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure7.run(seed=SEED, users_per_epoch=8, num_epochs=2)
+
+    def test_curves_monotone_in_hops(self, result):
+        medians = [result.cdf(n).quantile(0.5) for n in figure7.HOP_COUNTS]
+        assert medians == sorted(medians)
+
+    def test_first_sat_fastest(self, result):
+        assert result.cdf(0).quantile(0.5) < 25.0
+
+    def test_five_hops_beats_terrestrial_tail(self, result):
+        # Paper: SpaceCDN at <=5 hops outperforms terrestrial in the tail.
+        assert result.cdf(5).quantile(0.95) < result.cdf(TERRESTRIAL).quantile(0.95)
+
+    def test_ten_hops_about_half_starlink(self, result):
+        # Paper: 10 ISL hops offers ~half the (whole-CDF) Starlink latency.
+        ratio = result.cdf(10).quantile(0.5) / result.cdf(STARLINK).quantile(0.5)
+        assert 0.25 < ratio < 0.75
+
+    def test_spacecdn_beats_starlink_everywhere(self, result):
+        for q in (0.25, 0.5, 0.75, 0.95):
+            assert result.cdf(5).quantile(q) < result.cdf(STARLINK).quantile(q)
+
+
+class TestFigure8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure8.run(seed=SEED, users_per_epoch=8, num_epochs=2)
+
+    def test_all_fractions_present(self, result):
+        assert set(result.rtt_summaries) == {0.3, 0.5, 0.8}
+
+    def test_latency_decreases_with_fraction(self, result):
+        assert (
+            result.rtt_summaries[0.8].median
+            < result.rtt_summaries[0.5].median
+            < result.rtt_summaries[0.3].median
+        )
+
+    def test_half_fleet_competitive(self, result):
+        # Paper: >= 50% duty-cycling caches are competitive with terrestrial.
+        assert 0.5 in result.competitive_fractions()
+        assert 0.8 in result.competitive_fractions()
+
+    def test_terrestrial_reference_finite(self, result):
+        assert not math.isnan(result.terrestrial_median_ms)
+        assert 10.0 < result.terrestrial_median_ms < 60.0

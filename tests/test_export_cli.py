@@ -1,0 +1,153 @@
+"""Tests for dataset export/import and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import DatasetError
+from repro.geo.datasets import city_by_name
+from repro.measurements.aim import AimGenerator
+from repro.measurements.export import (
+    read_aim_csv,
+    read_aim_json,
+    write_aim_csv,
+    write_aim_json,
+    write_netmet_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cities = (city_by_name("Madrid"), city_by_name("Maputo"))
+    return AimGenerator(seed=3).generate(tests_per_city=5, cities=cities)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "aim.csv"
+        count = write_aim_csv(dataset, path)
+        assert count == len(dataset.tests)
+        loaded = read_aim_csv(path)
+        assert loaded.tests == dataset.tests
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_aim_csv(tmp_path / "nope.csv")
+
+    def test_wrong_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(DatasetError):
+            read_aim_csv(path)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "aim.json"
+        count = write_aim_json(dataset, path)
+        assert count == len(dataset.tests)
+        loaded = read_aim_json(path)
+        assert loaded.tests == dataset.tests
+
+    def test_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(DatasetError):
+            read_aim_json(path)
+
+    def test_non_array_raises(self, tmp_path):
+        path = tmp_path / "obj.json"
+        path.write_text('{"a": 1}')
+        with pytest.raises(DatasetError):
+            read_aim_json(path)
+
+    def test_missing_field_raises(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps([{"city": "Madrid"}]))
+        with pytest.raises(DatasetError):
+            read_aim_json(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_aim_json(tmp_path / "nope.json")
+
+
+class TestNetmetExport:
+    def test_write_records(self, tmp_path):
+        from repro.measurements.aim import TERRESTRIAL
+        from repro.measurements.netmet import NetMetProbe
+
+        probe = NetMetProbe(seed=1)
+        records = probe.browse(city_by_name("Madrid"), TERRESTRIAL, rounds=1)
+        path = tmp_path / "netmet.csv"
+        assert write_netmet_csv(records, path) == 20
+        header = path.read_text().splitlines()[0]
+        assert "fcp_ms" in header
+
+
+class TestCliParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "figure7" in out
+
+    def test_run_requires_known_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "figure99"])
+
+    def test_run_table1_small(self, capsys):
+        assert main(["run", "table1", "--tests-per-city", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Mozambique" in out
+
+    def test_run_figure3_small(self, capsys):
+        assert main(["run", "figure3", "--samples", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Frankfurt" in out
+
+    def test_run_figure2_small(self, capsys):
+        assert main(["run", "figure2", "--tests-per-city", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "delta" in out.lower()
+
+    def test_run_figure4_small(self, capsys):
+        assert main(["run", "figure4", "--rounds", "1"]) == 0
+        assert "NG" in capsys.readouterr().out
+
+    def test_run_figure5_small(self, capsys):
+        assert main(["run", "figure5", "--rounds", "1"]) == 0
+        assert "FCP" in capsys.readouterr().out
+
+    def test_run_figure7_small(self, capsys):
+        assert main(["run", "figure7", "--users", "4", "--epochs", "1"]) == 0
+        assert "1st/Sat" in capsys.readouterr().out
+
+    def test_run_figure8_small(self, capsys):
+        assert main(["run", "figure8", "--users", "4", "--epochs", "1"]) == 0
+        assert "terrestrial median" in capsys.readouterr().out
+
+    def test_missing_command_exits(self):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            main([])
+
+    def test_aim_export_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "aim.csv"
+        code = main(
+            ["aim", "--tests-per-city", "1", "--format", "csv", "--out", str(out_file)]
+        )
+        assert code == 0
+        assert out_file.exists()
+        loaded = read_aim_csv(out_file)
+        assert len(loaded.tests) > 100  # every gazetteer city contributes
+
+    def test_aim_export_json(self, tmp_path):
+        out_file = tmp_path / "aim.json"
+        assert main(
+            ["aim", "--tests-per-city", "1", "--format", "json", "--out", str(out_file)]
+        ) == 0
+        assert json.loads(out_file.read_text())

@@ -1,0 +1,141 @@
+"""Tests for the synthetic AIM dataset generator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.datasets import cities_in_country, city_by_name
+from repro.measurements.aim import STARLINK, TERRESTRIAL, AimDataset, AimGenerator, SpeedTest
+
+
+@pytest.fixture(scope="module")
+def generator() -> AimGenerator:
+    return AimGenerator(seed=5)
+
+
+@pytest.fixture(scope="module")
+def small_dataset(generator) -> AimDataset:
+    cities = (
+        city_by_name("Maputo"),
+        city_by_name("Madrid"),
+        city_by_name("Lagos"),
+        city_by_name("Tokyo"),
+    )
+    return generator.generate(tests_per_city=15, cities=cities)
+
+
+class TestGenerator:
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AimGenerator(probes_per_site=0)
+        with pytest.raises(ConfigurationError):
+            AimGenerator(candidate_sites=0)
+
+    def test_unknown_isp_rejected(self, generator):
+        city = city_by_name("Madrid")
+        from repro.geo.datasets import cdn_site_by_name
+
+        site = cdn_site_by_name("Madrid")
+        with pytest.raises(ConfigurationError):
+            generator.sample_rtt_ms(city, site, "carrier-pigeon")
+
+    def test_candidate_sites_starlink_anchor_is_pop(self, generator):
+        # Starlink candidates for Maputo cluster around Frankfurt, not Maputo.
+        candidates = generator.candidate_sites_for(city_by_name("Maputo"), STARLINK)
+        names = {s.name for s in candidates}
+        assert "Frankfurt" in names
+        assert "Maputo" not in names
+
+    def test_candidate_sites_terrestrial_anchor_is_client(self, generator):
+        candidates = generator.candidate_sites_for(city_by_name("Maputo"), TERRESTRIAL)
+        assert candidates[0].name == "Maputo"
+
+    def test_optimal_site_maputo(self, generator):
+        terr_site, terr_rtt = generator.optimal_site(city_by_name("Maputo"), TERRESTRIAL)
+        star_site, star_rtt = generator.optimal_site(city_by_name("Maputo"), STARLINK)
+        assert terr_site.name == "Maputo"
+        assert star_site.iso2 in ("DE", "NL", "BE", "FR")  # Frankfurt region
+        assert star_rtt > terr_rtt
+
+    def test_generate_city_tests_fields(self, generator):
+        tests = generator.generate_city_tests(city_by_name("Madrid"), STARLINK, 5)
+        assert len(tests) == 5
+        for test in tests:
+            assert isinstance(test, SpeedTest)
+            assert test.isp == STARLINK
+            assert test.latency_ms > 0
+            assert test.loaded_latency_ms > test.latency_ms * 0.5
+            assert test.cdn_distance_km >= 0
+
+    def test_generate_city_tests_invalid_count(self, generator):
+        with pytest.raises(ConfigurationError):
+            generator.generate_city_tests(city_by_name("Madrid"), STARLINK, 0)
+
+
+class TestDataset:
+    def test_both_isps_present(self, small_dataset):
+        assert small_dataset.countries(TERRESTRIAL) == {"MZ", "ES", "NG", "JP"}
+        assert small_dataset.countries(STARLINK) == {"MZ", "ES", "NG", "JP"}
+
+    def test_starlink_weighting_by_tier(self, small_dataset):
+        # Tier-3 countries get more Starlink tests than tier-1.
+        mz_tests = len(small_dataset.filter(isp=STARLINK, iso2="MZ"))
+        es_tests = len(small_dataset.filter(isp=STARLINK, iso2="ES"))
+        assert mz_tests > es_tests
+
+    def test_filter(self, small_dataset):
+        subset = small_dataset.filter(isp=TERRESTRIAL, iso2="MZ")
+        assert all(t.isp == TERRESTRIAL and t.iso2 == "MZ" for t in subset)
+        assert subset
+
+    def test_median_min_relationship(self, small_dataset):
+        for iso2 in ("MZ", "ES"):
+            for isp in (STARLINK, TERRESTRIAL):
+                assert small_dataset.min_rtt_ms(iso2, isp) <= small_dataset.median_rtt_ms(
+                    iso2, isp
+                )
+
+    def test_unmeasured_country_is_nan(self, small_dataset):
+        assert math.isnan(small_dataset.median_rtt_ms("US", STARLINK))
+        assert math.isnan(small_dataset.mean_distance_km("US", STARLINK))
+        assert math.isnan(small_dataset.min_rtt_ms("US", STARLINK))
+
+    def test_rtts_by_country(self, small_dataset):
+        grouped = small_dataset.rtts_by_country(STARLINK)
+        assert set(grouped) == {"MZ", "ES", "NG", "JP"}
+        assert all(len(v) > 0 for v in grouped.values())
+
+    def test_pooled_doubles_sample_count(self, small_dataset):
+        idle = small_dataset.all_rtts(STARLINK)
+        pooled = small_dataset.all_rtts_pooled(STARLINK)
+        assert len(pooled) == 2 * len(idle)
+
+    def test_paper_shape_starlink_worse_except_nigeria(self, small_dataset):
+        for iso2 in ("MZ", "ES", "JP"):
+            assert small_dataset.median_rtt_ms(iso2, STARLINK) > small_dataset.median_rtt_ms(
+                iso2, TERRESTRIAL
+            )
+        # Nigeria: Starlink beats the congested terrestrial access.
+        assert small_dataset.median_rtt_ms("NG", STARLINK) < small_dataset.median_rtt_ms(
+            "NG", TERRESTRIAL
+        )
+
+    def test_starlink_distance_penalty_mozambique(self, small_dataset):
+        assert small_dataset.mean_distance_km("MZ", STARLINK) > 7000
+        assert small_dataset.mean_distance_km("MZ", TERRESTRIAL) < 1000
+
+
+class TestReproducibility:
+    def test_same_seed_same_dataset(self):
+        cities = (city_by_name("Madrid"),)
+        a = AimGenerator(seed=9).generate(tests_per_city=5, cities=cities)
+        b = AimGenerator(seed=9).generate(tests_per_city=5, cities=cities)
+        assert [t.latency_ms for t in a.tests] == [t.latency_ms for t in b.tests]
+
+    def test_different_seed_differs(self):
+        cities = (city_by_name("Madrid"),)
+        a = AimGenerator(seed=1).generate(tests_per_city=5, cities=cities)
+        b = AimGenerator(seed=2).generate(tests_per_city=5, cities=cities)
+        assert [t.latency_ms for t in a.tests] != [t.latency_ms for t in b.tests]

@@ -1,0 +1,71 @@
+"""Tests for Ku-band access-link geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.access import (
+    sample_access_one_way_ms,
+    sample_elevation_deg,
+    slant_range_for_elevation_km,
+)
+
+
+class TestSlantRangeForElevation:
+    def test_zenith_equals_altitude(self):
+        assert slant_range_for_elevation_km(90.0, 550.0) == pytest.approx(550.0)
+
+    def test_monotone_decreasing_in_elevation(self):
+        ranges = [slant_range_for_elevation_km(e, 550.0) for e in (10, 25, 50, 90)]
+        assert ranges == sorted(ranges, reverse=True)
+
+    def test_matches_visibility_bound(self):
+        # Must agree with the law-of-sines bound used by visibility.
+        from repro.orbits.visibility import max_slant_range_km
+
+        for elevation in (10.0, 25.0, 40.0):
+            assert slant_range_for_elevation_km(elevation, 550.0) == pytest.approx(
+                max_slant_range_km(550.0, elevation), rel=1e-6
+            )
+
+    def test_invalid_elevation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            slant_range_for_elevation_km(-1.0)
+        with pytest.raises(ConfigurationError):
+            slant_range_for_elevation_km(90.1)
+
+    def test_invalid_altitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            slant_range_for_elevation_km(45.0, 0.0)
+
+
+class TestSampleElevation:
+    def test_within_usable_range(self):
+        rng = np.random.default_rng(0)
+        samples = [sample_elevation_deg(rng) for _ in range(500)]
+        assert all(25.0 <= s <= 90.0 for s in samples)
+
+    def test_skewed_towards_low_elevations(self):
+        rng = np.random.default_rng(1)
+        samples = np.array([sample_elevation_deg(rng) for _ in range(2000)])
+        midpoint = (25.0 + 90.0) / 2.0
+        assert np.mean(samples < midpoint) > 0.55
+
+    def test_invalid_min_elevation_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ConfigurationError):
+            sample_elevation_deg(rng, min_elevation_deg=90.0)
+
+
+class TestSampleAccessLatency:
+    def test_bounded_by_geometry(self):
+        rng = np.random.default_rng(3)
+        samples = [sample_access_one_way_ms(rng) for _ in range(500)]
+        # Floor: zenith propagation + fixed overheads (~7.3 ms);
+        # ceiling: horizon-range propagation + overheads (~9.3 ms).
+        assert all(7.0 < s < 10.0 for s in samples)
+
+    def test_reproducible(self):
+        a = [sample_access_one_way_ms(np.random.default_rng(5)) for _ in range(5)]
+        b = [sample_access_one_way_ms(np.random.default_rng(5)) for _ in range(5)]
+        assert a == b

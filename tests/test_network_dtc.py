@@ -1,0 +1,79 @@
+"""Tests for the direct-to-cell access model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.direct_to_cell import (
+    DirectToCellAccess,
+    dtc_vs_dishy_rtt_penalty_ms,
+)
+
+
+@pytest.fixture
+def dtc() -> DirectToCellAccess:
+    return DirectToCellAccess()
+
+
+class TestLinkBudget:
+    def test_link_closes_at_high_elevation(self, dtc):
+        assert dtc.one_way_ms(90.0) > 0
+        assert dtc.one_way_ms(45.0) > dtc.one_way_ms(90.0)
+
+    def test_link_refuses_below_mask(self, dtc):
+        with pytest.raises(ConfigurationError):
+            dtc.one_way_ms(30.0)
+
+    def test_floor_rtt_dominated_by_scheduling(self, dtc):
+        # Propagation at zenith is ~1.8 ms; the 15 ms frame cycle dominates.
+        floor = dtc.floor_rtt_ms()
+        assert 35.0 < floor < 45.0
+
+    def test_penalty_vs_dishy_positive(self):
+        penalty = dtc_vs_dishy_rtt_penalty_ms()
+        assert penalty > 15.0  # phones pay tens of ms more per RTT
+
+
+class TestBeamSharing:
+    def test_single_user_gets_whole_beam(self, dtc):
+        assert dtc.user_share_mbps(1) == dtc.beam_capacity_mbps
+
+    def test_share_divides(self, dtc):
+        assert dtc.user_share_mbps(10) == pytest.approx(dtc.beam_capacity_mbps / 10)
+
+    def test_zero_users_rejected(self, dtc):
+        with pytest.raises(ConfigurationError):
+            dtc.user_share_mbps(0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"altitude_km": 0.0},
+            {"min_elevation_deg": 95.0},
+            {"scheduling_delay_ms": 0.0},
+            {"beam_capacity_mbps": 0.0},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DirectToCellAccess(**kwargs)
+
+
+class TestSpaceCdnMotivation:
+    def test_overhead_cache_beats_bent_pipe_for_phones(self, dtc):
+        """Even with the phone's worse access link, fetching from the
+        overhead satellite's cache is far better than the full bent-pipe
+        path to a distant PoP — the §5 direct-to-cell argument."""
+        import numpy as np
+
+        from repro.geo.datasets import cdn_site_by_name, city_by_name
+        from repro.network.bentpipe import StarlinkPathModel
+        from repro.network.latency import LatencyNoise
+
+        model = StarlinkPathModel(noise=LatencyNoise(rng=np.random.default_rng(0)))
+        maputo = city_by_name("Maputo")
+        frankfurt = cdn_site_by_name("Frankfurt")
+        bent_pipe_rtt = model.min_rtt_floor_ms(maputo, frankfurt.location, frankfurt.iso2)
+        overhead_cache_rtt = dtc.floor_rtt_ms()
+        assert overhead_cache_rtt < bent_pipe_rtt / 3.0

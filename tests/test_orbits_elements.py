@@ -1,0 +1,81 @@
+"""Tests for shell configuration and satellite identity."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.orbits.elements import SatelliteId, ShellConfig, starlink_shell1
+
+
+class TestShellConfig:
+    def test_starlink_shell1_matches_paper(self):
+        shell = starlink_shell1()
+        assert shell.num_planes == 72
+        assert shell.sats_per_plane == 22
+        assert shell.total_satellites == 1584
+        assert shell.altitude_km == 550.0
+        assert shell.inclination_deg == 53.0
+
+    def test_period_is_about_95_minutes(self):
+        # The paper: satellites "revisit a location roughly every 90 minutes".
+        assert 90 * 60 < starlink_shell1().period_s < 100 * 60
+
+    def test_spacings(self):
+        shell = starlink_shell1()
+        assert shell.raan_spacing_deg == pytest.approx(5.0)
+        assert shell.in_plane_spacing_deg == pytest.approx(360.0 / 22)
+
+    def test_inter_plane_phase(self):
+        shell = starlink_shell1()
+        assert shell.inter_plane_phase_deg == pytest.approx(39 * 360.0 / 1584)
+
+    def test_in_plane_neighbor_distance(self):
+        shell = starlink_shell1()
+        # 22 satellites around a 6921 km-radius orbit: chord ~1966 km.
+        assert shell.in_plane_neighbor_distance_km() == pytest.approx(1966, rel=0.01)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"altitude_km": 0.0},
+            {"altitude_km": -10.0},
+            {"inclination_deg": 0.0},
+            {"inclination_deg": 181.0},
+            {"num_planes": 0},
+            {"sats_per_plane": 0},
+            {"phase_offset": 48},  # >= total for the small config below
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        base = dict(
+            altitude_km=550.0,
+            inclination_deg=53.0,
+            num_planes=6,
+            sats_per_plane=8,
+            phase_offset=0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            ShellConfig(**base)
+
+
+class TestSatelliteId:
+    def test_index_round_trip(self, small_shell):
+        for index in range(small_shell.total_satellites):
+            sat = SatelliteId.from_index(index, small_shell)
+            assert sat.index(small_shell) == index
+
+    def test_plane_slot_layout(self, small_shell):
+        sat = SatelliteId.from_index(small_shell.sats_per_plane + 3, small_shell)
+        assert sat.plane == 1
+        assert sat.slot == 3
+
+    def test_out_of_range_index_rejected(self, small_shell):
+        with pytest.raises(ConfigurationError):
+            SatelliteId.from_index(small_shell.total_satellites, small_shell)
+        with pytest.raises(ConfigurationError):
+            SatelliteId.from_index(-1, small_shell)
+
+    def test_mismatched_id_rejected(self, small_shell):
+        rogue = SatelliteId(plane=99, slot=0)
+        with pytest.raises(ConfigurationError):
+            rogue.index(small_shell)

@@ -1,0 +1,138 @@
+"""Tests for multi-shell fleets and access-satellite churn."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.churn import access_churn
+from repro.orbits.elements import (
+    ShellConfig,
+    starlink_shell1,
+    starlink_shell3,
+    starlink_vleo,
+)
+from repro.orbits.multi import MultiShellConstellation
+
+
+@pytest.fixture(scope="module")
+def fleet() -> MultiShellConstellation:
+    return MultiShellConstellation(shells=(starlink_shell1(), starlink_shell3()))
+
+
+class TestFleetIndexing:
+    def test_total_size(self, fleet):
+        assert len(fleet) == 1584 + 720
+
+    def test_resolve_first_shell(self, fleet):
+        sat = fleet.resolve(100)
+        assert sat.shell_index == 0
+        assert sat.shell_name == "starlink-shell1"
+        assert sat.local_index == 100
+
+    def test_resolve_second_shell(self, fleet):
+        sat = fleet.resolve(1584 + 5)
+        assert sat.shell_index == 1
+        assert sat.shell_name == "starlink-shell3"
+        assert sat.local_index == 5
+
+    def test_round_trip(self, fleet):
+        for fleet_index in (0, 1583, 1584, 2303):
+            sat = fleet.resolve(fleet_index)
+            assert fleet.fleet_index(sat.shell_index, sat.local_index) == fleet_index
+
+    def test_out_of_range_rejected(self, fleet):
+        with pytest.raises(ConfigurationError):
+            fleet.resolve(len(fleet))
+        with pytest.raises(ConfigurationError):
+            fleet.resolve(-1)
+        with pytest.raises(ConfigurationError):
+            fleet.fleet_index(5, 0)
+        with pytest.raises(ConfigurationError):
+            fleet.fleet_index(0, 99999)
+
+    def test_duplicate_shell_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiShellConstellation(shells=(starlink_shell1(), starlink_shell1()))
+
+    def test_empty_shells_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiShellConstellation(shells=())
+
+
+class TestFleetGeometry:
+    def test_positions_stacked(self, fleet):
+        positions = fleet.positions_ecef(0.0)
+        assert positions.shape == (len(fleet), 3)
+
+    def test_visibility_merges_shells(self, fleet):
+        # At 60 N, Shell 1 (53 deg) is marginal but Shell 3 (70 deg) covers.
+        far_north = GeoPoint(64.0, 10.0, 0.0)
+        hits = fleet.visible_satellites(far_north, 0.0)
+        shells_seen = {sat.shell_name for sat, _ in hits}
+        assert "starlink-shell3" in shells_seen
+
+    def test_visibility_sorted_by_range(self, fleet):
+        hits = fleet.visible_satellites(GeoPoint(0.0, 0.0), 0.0)
+        ranges = [v.slant_range_km for _, v in hits]
+        assert ranges == sorted(ranges)
+
+    def test_nearest_visible(self, fleet):
+        sat, visible = fleet.nearest_visible(GeoPoint(0.0, 0.0), 0.0)
+        assert visible.elevation_deg >= 25.0
+        assert fleet.resolve(sat.fleet_index) == sat
+
+    def test_nearest_visible_raises_when_uncovered(self, fleet):
+        with pytest.raises(VisibilityError):
+            fleet.nearest_visible(GeoPoint(85.0, 0.0), 0.0)
+
+    def test_coverage_by_shell(self, fleet):
+        counts = fleet.coverage_by_shell(GeoPoint(0.0, 0.0), 0.0)
+        assert set(counts) == {"starlink-shell1", "starlink-shell3"}
+        assert counts["starlink-shell1"] > 0
+
+    def test_vleo_fleet_lower_min_range(self):
+        single = MultiShellConstellation(shells=(starlink_shell1(),))
+        with_vleo = MultiShellConstellation(
+            shells=(starlink_shell1(), starlink_vleo())
+        )
+        point = GeoPoint(10.0, 10.0)
+        _, nearest_single = single.nearest_visible(point, 0.0)
+        _, nearest_vleo = with_vleo.nearest_visible(point, 0.0)
+        assert nearest_vleo.slant_range_km <= nearest_single.slant_range_km
+
+
+class TestAccessChurn:
+    def test_report_fields(self, shell1_constellation):
+        report = access_churn(
+            shell1_constellation, GeoPoint(0.0, 0.0), duration_s=600.0
+        )
+        assert report.observations == 40  # 600 / 15
+        assert report.switches >= 1  # passes last only minutes
+        assert report.distinct_satellites >= 2
+        assert 0 < report.mean_dwell_s <= 600.0
+
+    def test_dwell_consistent_with_pass_duration(self, shell1_constellation):
+        # Nearest-satellite dwell times cannot exceed a pass (~5-10 min max).
+        report = access_churn(
+            shell1_constellation, GeoPoint(0.0, 0.0), duration_s=1800.0
+        )
+        assert report.mean_dwell_s < 10 * 60
+
+    def test_switch_rate_positive(self, shell1_constellation):
+        report = access_churn(
+            shell1_constellation, GeoPoint(20.0, 50.0), duration_s=900.0
+        )
+        assert report.switch_rate_per_minute > 0.1
+
+    def test_invalid_args(self, shell1_constellation):
+        with pytest.raises(ConfigurationError):
+            access_churn(shell1_constellation, GeoPoint(0.0, 0.0), duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            access_churn(
+                shell1_constellation, GeoPoint(0.0, 0.0), duration_s=10.0, interval_s=0.0
+            )
+
+    def test_uncovered_terminal_raises(self, shell1_constellation):
+        with pytest.raises(VisibilityError):
+            access_churn(shell1_constellation, GeoPoint(80.0, 0.0), duration_s=60.0)

@@ -1,0 +1,121 @@
+"""Tests for visibility computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.orbits.visibility import (
+    coverage_fraction,
+    elevations_deg,
+    max_slant_range_km,
+    nearest_visible_satellite,
+    slant_ranges_km,
+    visible_satellites,
+)
+
+
+class TestElevations:
+    def test_shape(self, small_constellation, equator_point):
+        elevations = elevations_deg(small_constellation, equator_point, 0.0)
+        assert elevations.shape == (len(small_constellation),)
+
+    def test_range(self, small_constellation, equator_point):
+        elevations = elevations_deg(small_constellation, equator_point, 0.0)
+        assert np.all(elevations >= -90.0)
+        assert np.all(elevations <= 90.0)
+
+    def test_most_satellites_below_horizon(self, small_constellation, equator_point):
+        # From any point, the majority of a LEO shell is below the horizon.
+        elevations = elevations_deg(small_constellation, equator_point, 0.0)
+        assert np.mean(elevations < 0) > 0.5
+
+
+class TestSlantRanges:
+    def test_minimum_at_least_altitude(self, shell1_constellation, equator_point):
+        ranges = slant_ranges_km(shell1_constellation, equator_point, 0.0)
+        assert ranges.min() >= 550.0 - 1.0
+
+    def test_maximum_bounded_by_geometry(self, shell1_constellation, equator_point):
+        ranges = slant_ranges_km(shell1_constellation, equator_point, 0.0)
+        # No satellite can be farther than Earth diameter + orbit diameter.
+        assert ranges.max() < 2 * (6371.0 + 550.0) + 1.0
+
+
+class TestVisibleSatellites:
+    def test_sorted_by_range(self, shell1_constellation, equator_point):
+        visible = visible_satellites(shell1_constellation, equator_point, 0.0)
+        ranges = [v.slant_range_km for v in visible]
+        assert ranges == sorted(ranges)
+
+    def test_all_above_min_elevation(self, shell1_constellation, equator_point):
+        visible = visible_satellites(
+            shell1_constellation, equator_point, 0.0, min_elevation_deg=25.0
+        )
+        assert all(v.elevation_deg >= 25.0 for v in visible)
+
+    def test_lower_threshold_sees_more(self, shell1_constellation, equator_point):
+        strict = visible_satellites(
+            shell1_constellation, equator_point, 0.0, min_elevation_deg=40.0
+        )
+        loose = visible_satellites(
+            shell1_constellation, equator_point, 0.0, min_elevation_deg=10.0
+        )
+        assert len(loose) > len(strict)
+
+    def test_range_within_elevation_bound(self, shell1_constellation, equator_point):
+        visible = visible_satellites(
+            shell1_constellation, equator_point, 0.0, min_elevation_deg=25.0
+        )
+        bound = max_slant_range_km(550.0, 25.0)
+        assert all(v.slant_range_km <= bound + 1.0 for v in visible)
+
+    def test_high_latitude_point_sees_nothing_in_53deg_shell(self, shell1_constellation):
+        # Far above the inclination limit there is no coverage at 25 deg.
+        svalbard = GeoPoint(78.2, 15.6, 0.0)
+        assert visible_satellites(shell1_constellation, svalbard, 0.0) == []
+
+
+class TestNearestVisible:
+    def test_equator_always_served_by_shell1(self, shell1_constellation, equator_point):
+        nearest = nearest_visible_satellite(shell1_constellation, equator_point, 0.0)
+        assert nearest.elevation_deg >= 25.0
+        assert nearest.slant_range_km < max_slant_range_km(550.0, 25.0) + 1.0
+
+    def test_no_visibility_raises(self, shell1_constellation):
+        svalbard = GeoPoint(78.2, 15.6, 0.0)
+        with pytest.raises(VisibilityError):
+            nearest_visible_satellite(shell1_constellation, svalbard, 0.0)
+
+    def test_nearest_is_first_of_visible(self, shell1_constellation, equator_point):
+        nearest = nearest_visible_satellite(shell1_constellation, equator_point, 0.0)
+        visible = visible_satellites(shell1_constellation, equator_point, 0.0)
+        assert nearest == visible[0]
+
+
+class TestCoverage:
+    def test_shell1_equator_continuous_coverage(self, shell1_constellation, equator_point):
+        fraction = coverage_fraction(
+            shell1_constellation, equator_point, duration_s=600.0, step_s=60.0
+        )
+        assert fraction == 1.0
+
+    def test_invalid_duration_raises(self, shell1_constellation, equator_point):
+        with pytest.raises(VisibilityError):
+            coverage_fraction(shell1_constellation, equator_point, duration_s=0.0)
+
+
+class TestMaxSlantRange:
+    def test_zenith_limit(self):
+        assert max_slant_range_km(550.0, 90.0) == pytest.approx(550.0, abs=1.0)
+
+    def test_horizon_much_farther(self):
+        assert max_slant_range_km(550.0, 0.0) > 2000.0
+
+    def test_monotone_in_elevation(self):
+        ranges = [max_slant_range_km(550.0, e) for e in (0.0, 25.0, 50.0, 90.0)]
+        assert ranges == sorted(ranges, reverse=True)
+
+    def test_starlink_25deg_value(self):
+        # Known geometry: ~1120 km max slant at 25 deg for a 550 km shell.
+        assert max_slant_range_km(550.0, 25.0) == pytest.approx(1120, rel=0.05)

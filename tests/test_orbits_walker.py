@@ -1,0 +1,128 @@
+"""Tests for Walker-delta construction and propagation."""
+
+import numpy as np
+import pytest
+
+from repro.constants import EARTH_RADIUS_KM
+from repro.errors import ConfigurationError
+from repro.orbits.elements import starlink_shell1
+from repro.orbits.walker import Constellation, build_walker_delta
+
+
+class TestConstruction:
+    def test_total_satellites(self, small_constellation, small_shell):
+        assert len(small_constellation) == small_shell.total_satellites
+
+    def test_raan_per_plane(self, small_constellation, small_shell):
+        per = small_shell.sats_per_plane
+        raan = small_constellation.raan_rad
+        # All satellites of one plane share a RAAN.
+        for plane in range(small_shell.num_planes):
+            plane_raans = raan[plane * per : (plane + 1) * per]
+            assert np.allclose(plane_raans, plane_raans[0])
+
+    def test_raan_spacing(self, small_constellation, small_shell):
+        per = small_shell.sats_per_plane
+        raan0 = small_constellation.raan_rad[0]
+        raan1 = small_constellation.raan_rad[per]
+        expected = np.radians(small_shell.raan_spacing_deg)
+        assert raan1 - raan0 == pytest.approx(expected)
+
+    def test_phase_offset_between_planes(self, small_constellation, small_shell):
+        per = small_shell.sats_per_plane
+        phase0 = small_constellation.phase_rad[0]
+        phase1 = small_constellation.phase_rad[per]
+        expected = np.radians(small_shell.inter_plane_phase_deg)
+        assert phase1 - phase0 == pytest.approx(expected)
+
+    def test_mismatched_arrays_rejected(self, small_shell):
+        with pytest.raises(ConfigurationError):
+            Constellation(
+                config=small_shell,
+                raan_rad=np.zeros(3),
+                phase_rad=np.zeros(small_shell.total_satellites),
+            )
+
+
+class TestPropagation:
+    def test_orbit_radius_constant(self, small_constellation):
+        for t in (0.0, 100.0, 3000.0):
+            positions = small_constellation.positions_ecef(t)
+            radii = np.linalg.norm(positions, axis=1)
+            assert np.allclose(radii, small_constellation.orbit_radius_km)
+
+    def test_period_returns_to_start_in_inertial_frame(self, small_constellation):
+        # After one period the satellite returns to the same inertial spot;
+        # in ECEF it is offset by Earth rotation, so compare latitude only.
+        period = small_constellation.config.period_s
+        lat0 = small_constellation.subsatellite_points(0.0)[:, 0]
+        lat1 = small_constellation.subsatellite_points(period)[:, 0]
+        assert np.allclose(lat0, lat1, atol=0.05)
+
+    def test_satellites_move_between_snapshots(self, small_constellation):
+        p0 = small_constellation.positions_ecef(0.0)
+        p1 = small_constellation.positions_ecef(60.0)
+        moved = np.linalg.norm(p1 - p0, axis=1)
+        # ~7.6 km/s ground-frame speed -> roughly 450 km/minute.
+        assert moved.min() > 200.0
+
+    def test_latitude_bounded_by_inclination(self, small_constellation):
+        for t in np.linspace(0.0, small_constellation.config.period_s, 17):
+            lats = small_constellation.subsatellite_points(float(t))[:, 0]
+            assert np.all(np.abs(lats) <= small_constellation.config.inclination_deg + 0.1)
+
+    def test_position_geodetic_altitude(self, small_constellation):
+        point = small_constellation.position_geodetic(0, 0.0)
+        assert point.alt_km == pytest.approx(550.0, abs=1e-6)
+
+    def test_shell1_inclination_bound(self, shell1_constellation):
+        lats = shell1_constellation.subsatellite_points(1234.0)[:, 0]
+        assert np.max(np.abs(lats)) <= 53.0 + 0.1
+        # With 1584 satellites some are always near the inclination limit.
+        assert np.max(np.abs(lats)) > 50.0
+
+
+class TestNeighbors:
+    def test_intra_plane_neighbors_wrap(self, small_constellation, small_shell):
+        per = small_shell.sats_per_plane
+        ahead, behind = small_constellation.intra_plane_neighbors(0)
+        assert ahead == 1
+        assert behind == per - 1
+
+    def test_intra_plane_neighbors_stay_in_plane(self, small_constellation, small_shell):
+        per = small_shell.sats_per_plane
+        for index in range(len(small_constellation)):
+            ahead, behind = small_constellation.intra_plane_neighbors(index)
+            assert ahead // per == index // per
+            assert behind // per == index // per
+
+    def test_cross_plane_neighbors_in_adjacent_planes(
+        self, small_constellation, small_shell
+    ):
+        per = small_shell.sats_per_plane
+        planes = small_shell.num_planes
+        for index in (0, 7, 19):
+            east, west = small_constellation.cross_plane_neighbors(index)
+            plane = index // per
+            assert east // per == (plane + 1) % planes
+            assert west // per == (plane - 1) % planes
+
+    def test_cross_plane_neighbor_is_nearby(self, shell1_constellation):
+        # The whole point of nearest-slot wiring: the cross-plane partner
+        # must be far closer than the in-plane spacing.
+        positions = shell1_constellation.positions_ecef(0.0)
+        east, _ = shell1_constellation.cross_plane_neighbors(0)
+        distance = float(np.linalg.norm(positions[east] - positions[0]))
+        in_plane = shell1_constellation.config.in_plane_neighbor_distance_km()
+        assert distance < in_plane * 0.8
+
+
+class TestBuildWalkerShell1:
+    def test_build_full_shell1(self):
+        constellation = build_walker_delta(starlink_shell1())
+        assert len(constellation) == 1584
+        positions = constellation.positions_ecef(0.0)
+        assert positions.shape == (1584, 3)
+        # All satellites are distinct points.
+        unique_rows = np.unique(np.round(positions, 3), axis=0)
+        assert unique_rows.shape[0] == 1584

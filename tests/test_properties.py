@@ -1,0 +1,209 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cdn.cache import FifoCache, LfuCache, LruCache
+from repro.cdn.content import ContentObject
+from repro.constants import EARTH_RADIUS_KM
+from repro.geo.coordinates import (
+    GeoPoint,
+    destination_point,
+    great_circle_km,
+    normalize_longitude,
+    slant_range_km,
+)
+
+latitudes = st.floats(min_value=-90.0, max_value=90.0, allow_nan=False)
+longitudes = st.floats(min_value=-180.0, max_value=180.0, allow_nan=False)
+points = st.builds(GeoPoint, latitudes, longitudes, st.just(0.0))
+
+
+class TestGeodesyProperties:
+    @given(points, points)
+    def test_great_circle_symmetric(self, a, b):
+        assert great_circle_km(a, b) == great_circle_km(b, a)
+
+    @given(points, points)
+    def test_great_circle_bounded_by_half_circumference(self, a, b):
+        assert 0.0 <= great_circle_km(a, b) <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+    @given(points)
+    def test_great_circle_identity(self, a):
+        assert great_circle_km(a, a) == 0.0
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        ab = great_circle_km(a, b)
+        bc = great_circle_km(b, c)
+        ac = great_circle_km(a, c)
+        assert ac <= ab + bc + 1e-6
+
+    @given(points, points)
+    def test_chord_below_arc(self, a, b):
+        # Straight line through the Earth can never exceed the surface arc.
+        assert slant_range_km(a, b) <= great_circle_km(a, b) + 1e-6
+
+    @given(
+        points,
+        st.floats(min_value=0.0, max_value=360.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    )
+    def test_destination_distance_preserved(self, start, bearing, distance):
+        there = destination_point(start, bearing, distance)
+        assert great_circle_km(start, there) <= distance + 1e-6
+        # Equality except when the path crosses a pole and wraps.
+        if abs(start.lat_deg) < 80.0 and distance < 1000.0:
+            assert math.isclose(
+                great_circle_km(start, there), distance, rel_tol=1e-6, abs_tol=1e-6
+            )
+
+    @given(st.floats(min_value=-10_000.0, max_value=10_000.0, allow_nan=False))
+    def test_normalize_longitude_range(self, lon):
+        wrapped = normalize_longitude(lon)
+        assert -180.0 <= wrapped < 180.0
+
+
+object_entries = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),  # id pool (collisions intended)
+        st.integers(min_value=1, max_value=500),  # size
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestCacheProperties:
+    @given(object_entries, st.sampled_from([LruCache, LfuCache, FifoCache]))
+    @settings(max_examples=60, deadline=None)
+    def test_capacity_invariant(self, entries, cache_cls):
+        cache = cache_cls(capacity_bytes=1000)
+        for object_id, size in entries:
+            cache.put(ContentObject(f"o{object_id}", size))
+            assert 0 <= cache.used_bytes <= cache.capacity_bytes
+
+    @given(object_entries, st.sampled_from([LruCache, LfuCache, FifoCache]))
+    @settings(max_examples=60, deadline=None)
+    def test_used_bytes_equals_sum_of_cached(self, entries, cache_cls):
+        cache = cache_cls(capacity_bytes=1000)
+        inserted: dict[str, int] = {}
+        for object_id, size in entries:
+            name = f"o{object_id}"
+            if name in cache:
+                continue  # re-insert refreshes, does not resize
+            cache.put(ContentObject(name, size))
+            inserted[name] = size
+        expected = sum(inserted[oid] for oid in cache.object_ids())
+        assert cache.used_bytes == expected
+
+    @given(object_entries)
+    @settings(max_examples=60, deadline=None)
+    def test_lru_get_after_put_hits(self, entries):
+        cache = LruCache(capacity_bytes=100_000)  # never evicts at this size
+        for object_id, size in entries:
+            name = f"o{object_id}"
+            if name not in cache:
+                cache.put(ContentObject(name, size))
+            assert cache.get(name) is not None
+
+    @given(object_entries, st.sampled_from([LruCache, LfuCache, FifoCache]))
+    @settings(max_examples=60, deadline=None)
+    def test_stats_accounting(self, entries, cache_cls):
+        cache = cache_cls(capacity_bytes=1000)
+        for object_id, size in entries:
+            cache.get(f"o{object_id}")
+            name = f"o{object_id}"
+            if name not in cache:
+                cache.put(ContentObject(name, size))
+        stats = cache.stats
+        assert stats.requests == len(entries)
+        assert stats.hits + stats.misses == stats.requests
+        assert 0.0 <= stats.hit_ratio <= 1.0
+
+
+class TestZipfProperties:
+    @given(
+        st.integers(min_value=1, max_value=200),
+        st.floats(min_value=0.1, max_value=2.5, allow_nan=False),
+    )
+    def test_pmf_normalised(self, n, s):
+        from repro.workloads.zipf import ZipfDistribution
+
+        zipf = ZipfDistribution(n=n, s=s)
+        assert math.isclose(
+            sum(zipf.pmf(k) for k in range(1, n + 1)), 1.0, rel_tol=1e-9
+        )
+
+    @given(
+        st.integers(min_value=2, max_value=200),
+        st.floats(min_value=0.1, max_value=2.5, allow_nan=False),
+    )
+    def test_head_mass_monotone(self, n, s):
+        from repro.workloads.zipf import ZipfDistribution
+
+        zipf = ZipfDistribution(n=n, s=s)
+        masses = [zipf.head_mass(k) for k in range(1, n + 1)]
+        assert all(b >= a for a, b in zip(masses, masses[1:]))
+
+
+class TestPlacementProperties:
+    @given(
+        st.integers(min_value=1, max_value=22),
+        st.integers(min_value=0, max_value=21),
+    )
+    def test_spaced_slots_distinct_and_in_range(self, copies, offset):
+        from repro.spacecdn.placement import spaced_slots
+
+        slots = spaced_slots(22, copies, offset)
+        assert len(set(slots)) == copies
+        assert all(0 <= s < 22 for s in slots)
+
+    @given(st.text(min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_k_per_plane_deterministic_per_object(self, object_id):
+        from repro.orbits.elements import starlink_shell1
+        from repro.spacecdn.placement import KPerPlanePlacement
+
+        shell = starlink_shell1()
+        placement = KPerPlanePlacement(copies_per_plane=3)
+        a = placement.place_object(object_id, shell)
+        b = placement.place_object(object_id, shell)
+        assert a == b
+        assert len(a) == 3 * shell.num_planes
+
+
+class TestCdfProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_cdf_monotone_and_bounded(self, samples):
+        from repro.analysis.stats import Cdf
+
+        cdf = Cdf.from_samples(samples)
+        xs = sorted(samples)
+        probs = [cdf.at(x) for x in xs]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+        assert cdf.at(xs[-1]) == 1.0
+        assert cdf.at(xs[0] - 1.0) == 0.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=100,
+        )
+    )
+    def test_quantile_within_sample_range(self, samples):
+        from repro.analysis.stats import Cdf
+
+        cdf = Cdf.from_samples(samples)
+        for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+            value = cdf.quantile(q)
+            assert min(samples) <= value <= max(samples)

@@ -1,0 +1,104 @@
+"""Tests for demand-aware duty cycling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spacecdn.demand import DemandAwareDutyCycle, DiurnalDemand
+
+
+class TestDiurnalDemand:
+    def test_peak_at_peak_hour(self):
+        demand = DiurnalDemand(peak_hour=21.0)
+        # Longitude 0 at t such that local time is 21:00.
+        t_peak = 21.0 * 3600.0
+        assert demand.weight(0.0, t_peak) == pytest.approx(1.0)
+
+    def test_trough_twelve_hours_away(self):
+        demand = DiurnalDemand(peak_hour=21.0, floor=0.25)
+        t_trough = 9.0 * 3600.0
+        assert demand.weight(0.0, t_trough) == pytest.approx(0.25)
+
+    def test_longitude_shifts_local_time(self):
+        demand = DiurnalDemand(peak_hour=21.0)
+        # 90E is 6 hours ahead: local 21:00 happens at UTC 15:00.
+        assert demand.weight(90.0, 15.0 * 3600.0) == pytest.approx(1.0)
+
+    def test_weight_bounded(self):
+        demand = DiurnalDemand(floor=0.3)
+        for lon in (-180.0, -90.0, 0.0, 90.0, 180.0):
+            for hour in range(24):
+                w = demand.weight(lon, hour * 3600.0)
+                assert 0.3 <= w <= 1.0
+
+    def test_local_hour_wraps(self):
+        demand = DiurnalDemand()
+        assert 0.0 <= demand.local_hour(180.0, 23.5 * 3600.0) < 24.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalDemand(peak_hour=24.0)
+        with pytest.raises(ConfigurationError):
+            DiurnalDemand(floor=1.0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalDemand().weight(200.0, 0.0)
+
+
+class TestDemandAwareDutyCycle:
+    @pytest.fixture
+    def scheduler(self, shell1_constellation):
+        return DemandAwareDutyCycle(
+            constellation=shell1_constellation, cache_fraction=0.3
+        )
+
+    def test_active_set_size(self, scheduler, shell1_constellation):
+        active = scheduler.active_caches_at(0.0)
+        assert len(active) == round(0.3 * len(shell1_constellation))
+
+    def test_deterministic(self, scheduler):
+        assert scheduler.active_caches_at(100.0) == scheduler.active_caches_at(100.0)
+
+    def test_active_set_follows_the_sun(self, scheduler):
+        # Six hours later, demand has moved ~90 degrees west, so the active
+        # set must change substantially.
+        morning = scheduler.active_caches_at(0.0)
+        later = scheduler.active_caches_at(6.0 * 3600.0)
+        overlap = len(morning & later) / len(morning)
+        assert overlap < 0.8
+
+    def test_active_set_has_above_average_demand(self, scheduler):
+        for t in (0.0, 3 * 3600.0, 12 * 3600.0):
+            scores = scheduler.satellite_scores(t)
+            assert scheduler.mean_active_demand(t) > float(scores.mean())
+
+    def test_active_satellites_concentrate_on_demand_side(
+        self, scheduler, shell1_constellation
+    ):
+        t = 0.0  # UTC midnight: peak (21:00 local) sits near 45W
+        active = scheduler.active_caches_at(t)
+        tracks = shell1_constellation.subsatellite_points(t)
+        active_lons = [float(tracks[i][1]) for i in active]
+        # Most active satellites sit within 90 degrees of the demand peak.
+        peak_lon = -45.0
+        near_peak = sum(
+            1
+            for lon in active_lons
+            if min(abs(lon - peak_lon), 360 - abs(lon - peak_lon)) < 90.0
+        )
+        assert near_peak / len(active_lons) > 0.6
+
+    def test_invalid_config(self, shell1_constellation):
+        with pytest.raises(ConfigurationError):
+            DemandAwareDutyCycle(constellation=shell1_constellation, cache_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            DemandAwareDutyCycle(
+                constellation=shell1_constellation,
+                cache_fraction=0.5,
+                populated_band_deg=0.0,
+            )
+
+    def test_negative_time_rejected(self, scheduler):
+        with pytest.raises(ConfigurationError):
+            scheduler.active_caches_at(-1.0)

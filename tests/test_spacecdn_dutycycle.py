@@ -1,0 +1,125 @@
+"""Tests for duty-cycled satellite caching."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.coordinates import GeoPoint
+from repro.spacecdn.dutycycle import DutyCycleLatencyModel, DutyCycleScheduler
+
+
+class TestScheduler:
+    def test_caches_per_slot(self):
+        scheduler = DutyCycleScheduler(total_satellites=100, cache_fraction=0.3)
+        assert scheduler.caches_per_slot == 30
+
+    def test_at_least_one_cache(self):
+        scheduler = DutyCycleScheduler(total_satellites=100, cache_fraction=0.001)
+        assert scheduler.caches_per_slot == 1
+
+    def test_active_set_size(self):
+        scheduler = DutyCycleScheduler(total_satellites=200, cache_fraction=0.5)
+        assert len(scheduler.active_caches(0)) == 100
+
+    def test_deterministic_per_slot(self):
+        a = DutyCycleScheduler(total_satellites=100, cache_fraction=0.5, seed=3)
+        b = DutyCycleScheduler(total_satellites=100, cache_fraction=0.5, seed=3)
+        assert a.active_caches(7) == b.active_caches(7)
+
+    def test_different_slots_differ(self):
+        scheduler = DutyCycleScheduler(total_satellites=500, cache_fraction=0.5)
+        assert scheduler.active_caches(0) != scheduler.active_caches(1)
+
+    def test_different_seeds_differ(self):
+        a = DutyCycleScheduler(total_satellites=500, cache_fraction=0.5, seed=1)
+        b = DutyCycleScheduler(total_satellites=500, cache_fraction=0.5, seed=2)
+        assert a.active_caches(0) != b.active_caches(0)
+
+    def test_slot_index(self):
+        scheduler = DutyCycleScheduler(
+            total_satellites=10, cache_fraction=1.0, slot_duration_s=600.0
+        )
+        assert scheduler.slot_index(0.0) == 0
+        assert scheduler.slot_index(599.9) == 0
+        assert scheduler.slot_index(600.0) == 1
+
+    def test_active_caches_at_uses_slot(self):
+        scheduler = DutyCycleScheduler(total_satellites=100, cache_fraction=0.5)
+        assert scheduler.active_caches_at(0.0) == scheduler.active_caches(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_satellites": 0},
+            {"cache_fraction": 0.0},
+            {"cache_fraction": 1.5},
+            {"slot_duration_s": 0.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        base = dict(total_satellites=10, cache_fraction=0.5, slot_duration_s=600.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            DutyCycleScheduler(**base)
+
+    def test_negative_slot_rejected(self):
+        scheduler = DutyCycleScheduler(total_satellites=10, cache_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            scheduler.active_caches(-1)
+        with pytest.raises(ConfigurationError):
+            scheduler.slot_index(-1.0)
+
+
+class TestLatencyModel:
+    def test_full_fleet_serves_directly(self, shell1_snapshot):
+        model = DutyCycleLatencyModel(
+            snapshot=shell1_snapshot,
+            scheduler=DutyCycleScheduler(
+                total_satellites=len(shell1_snapshot.constellation),
+                cache_fraction=1.0,
+            ),
+        )
+        result = model.lookup(GeoPoint(0.0, 0.0))
+        assert result.isl_hops == 0
+
+    def test_latency_decreases_with_cache_fraction(self, shell1_snapshot):
+        import numpy as np
+
+        from repro.simulation.sampler import seeded_rng, user_sample_points
+
+        users = user_sample_points(seeded_rng(1, 2), 12)
+
+        def median_latency(fraction: float) -> float:
+            model = DutyCycleLatencyModel(
+                snapshot=shell1_snapshot,
+                scheduler=DutyCycleScheduler(
+                    total_satellites=len(shell1_snapshot.constellation),
+                    cache_fraction=fraction,
+                    seed=9,
+                ),
+            )
+            return float(np.median([model.one_way_ms(u) for u in users]))
+
+        assert median_latency(0.1) > median_latency(0.9)
+
+    def test_mismatched_fleet_size_rejected(self, shell1_snapshot):
+        with pytest.raises(ConfigurationError):
+            DutyCycleLatencyModel(
+                snapshot=shell1_snapshot,
+                scheduler=DutyCycleScheduler(total_satellites=10, cache_fraction=0.5),
+            )
+
+    def test_requests_always_served_in_space(self, shell1_snapshot):
+        # With unbounded hops and a non-empty cache set, Fig. 8's premise is
+        # that no request falls back to the ground.
+        from repro.spacecdn.lookup import LookupSource
+
+        model = DutyCycleLatencyModel(
+            snapshot=shell1_snapshot,
+            scheduler=DutyCycleScheduler(
+                total_satellites=len(shell1_snapshot.constellation),
+                cache_fraction=0.3,
+            ),
+        )
+        for lon in (-120.0, -60.0, 0.0, 60.0, 120.0):
+            result = model.lookup(GeoPoint(20.0, lon))
+            assert result.source is not LookupSource.GROUND

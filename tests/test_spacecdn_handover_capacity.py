@@ -1,0 +1,135 @@
+"""Tests for space-VM handover and capacity/thermal arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geo.coordinates import GeoPoint
+from repro.spacecdn.capacity import ThermalModel, constellation_storage_pb, videos_storable
+from repro.spacecdn.handover import VmHandoverPlanner
+
+
+class TestCapacityArithmetic:
+    def test_paper_storage_figure(self):
+        # Paper §5: 6000 satellites -> > 900 PB.
+        assert constellation_storage_pb(6000) == pytest.approx(900.0)
+
+    def test_paper_video_count(self):
+        # Paper §5: > 300M two-hour 1080p videos.
+        total = constellation_storage_pb(6000)
+        assert videos_storable(total) > 300_000_000
+
+    def test_zero_satellites(self):
+        assert constellation_storage_pb(0) == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            constellation_storage_pb(-1)
+        with pytest.raises(ConfigurationError):
+            videos_storable(-1.0)
+        with pytest.raises(ConfigurationError):
+            videos_storable(1.0, video_hours=0.0)
+
+
+class TestThermalModel:
+    def test_step_towards_active_equilibrium(self):
+        model = ThermalModel()
+        warm = model.step(20.0, active=True, dt_s=10_000.0)
+        assert warm > 20.0
+        assert warm <= model.active_equilibrium_c
+
+    def test_step_cools_when_idle(self):
+        model = ThermalModel()
+        cool = model.step(29.0, active=False, dt_s=10_000.0)
+        assert cool < 29.0
+
+    def test_continuous_operation_exceeds_limit_after_hours(self):
+        # Paper §5 (Xing et al.): the threshold is crossed only "after hours
+        # of continuous computation".
+        model = ThermalModel()
+        t = model.time_to_limit_s()
+        assert 1.0 * 3600 < t < 12.0 * 3600
+
+    def test_time_to_limit_infinite_when_equilibrium_below(self):
+        model = ThermalModel(active_equilibrium_c=25.0, idle_equilibrium_c=15.0)
+        assert model.time_to_limit_s() == float("inf")
+
+    def test_time_to_limit_zero_when_already_over(self):
+        model = ThermalModel()
+        assert model.time_to_limit_s(start_c=35.0) == 0.0
+
+    def test_sustainable_duty_fraction_below_one(self):
+        model = ThermalModel()
+        fraction = model.max_sustainable_duty_fraction()
+        assert 0.0 < fraction < 1.0
+
+    def test_duty_cycling_keeps_temperature_bounded(self):
+        model = ThermalModel()
+        fraction = model.max_sustainable_duty_fraction(slot_s=600.0)
+        temperature = model.idle_equilibrium_c
+        peak = temperature
+        for _ in range(300):
+            temperature = model.step(temperature, True, fraction * 600.0)
+            peak = max(peak, temperature)
+            temperature = model.step(temperature, False, (1 - fraction) * 600.0)
+        assert peak <= model.limit_c + 0.1
+
+    def test_cool_payload_sustains_full_duty(self):
+        model = ThermalModel(active_equilibrium_c=28.0, idle_equilibrium_c=15.0)
+        assert model.max_sustainable_duty_fraction() == 1.0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(time_constant_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ThermalModel(idle_equilibrium_c=40.0, active_equilibrium_c=30.0)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel().step(20.0, True, -1.0)
+
+
+class TestVmHandover:
+    def test_sync_time_for_paper_delta(self):
+        planner = VmHandoverPlanner.__new__(VmHandoverPlanner)
+        planner.isl_bandwidth_gbps = 10.0
+        # 100 MB at 10 Gbps: 0.08 s.
+        assert planner.sync_time_s(100.0) == pytest.approx(0.08)
+
+    def test_invalid_bandwidth_rejected(self, shell1_constellation):
+        with pytest.raises(ConfigurationError):
+            VmHandoverPlanner(constellation=shell1_constellation, isl_bandwidth_gbps=0.0)
+
+    def test_negative_delta_rejected(self, shell1_constellation):
+        planner = VmHandoverPlanner(constellation=shell1_constellation)
+        with pytest.raises(ConfigurationError):
+            planner.sync_time_s(-1.0)
+
+    def test_handover_chain_over_equator(self, shell1_constellation):
+        planner = VmHandoverPlanner(constellation=shell1_constellation)
+        plans = planner.plan_handovers(
+            area=GeoPoint(0.0, 0.0, 0.0),
+            start_s=0.0,
+            duration_s=1800.0,
+            delta_mb=100.0,
+        )
+        assert plans
+        # 100 MB deltas over 10 Gbps ISLs are trivially feasible (paper §5).
+        assert all(p.feasible for p in plans)
+
+    def test_huge_state_can_be_infeasible(self, shell1_constellation):
+        planner = VmHandoverPlanner(
+            constellation=shell1_constellation, isl_bandwidth_gbps=0.01
+        )
+        plans = planner.plan_handovers(
+            area=GeoPoint(0.0, 0.0, 0.0),
+            start_s=0.0,
+            duration_s=1800.0,
+            delta_mb=500_000.0,  # half a terabyte
+        )
+        assert any(not p.feasible for p in plans)
+
+    def test_chain_sorted_and_overlapping_or_gapped(self, shell1_constellation):
+        planner = VmHandoverPlanner(constellation=shell1_constellation)
+        chain = planner.pass_chain(GeoPoint(0.0, 0.0, 0.0), 0.0, 1800.0)
+        starts = [p.start_s for p in chain]
+        assert starts == sorted(starts)

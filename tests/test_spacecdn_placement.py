@@ -1,0 +1,141 @@
+"""Tests for replica placement — including the paper's 4-copies/5-hops claim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlacementError
+from repro.spacecdn.placement import (
+    KPerPlanePlacement,
+    PlacementPlan,
+    RandomPlacement,
+    replica_hop_profile,
+    spaced_slots,
+)
+
+
+class TestSpacedSlots:
+    def test_count(self):
+        assert len(spaced_slots(22, 4)) == 4
+
+    def test_all_distinct(self):
+        slots = spaced_slots(22, 4)
+        assert len(set(slots)) == 4
+
+    def test_roughly_even_spacing(self):
+        slots = sorted(spaced_slots(22, 4))
+        gaps = [
+            (b - a) % 22 for a, b in zip(slots, slots[1:] + [slots[0] + 22])
+        ]
+        assert max(gaps) - min(gaps) <= 2
+
+    def test_offset_rotates(self):
+        base = spaced_slots(22, 4, offset=0)
+        rotated = spaced_slots(22, 4, offset=3)
+        assert set(rotated) == {(s + 3) % 22 for s in base}
+
+    def test_full_plane(self):
+        assert set(spaced_slots(8, 8)) == set(range(8))
+
+    def test_invalid_copies_rejected(self):
+        with pytest.raises(PlacementError):
+            spaced_slots(22, 0)
+        with pytest.raises(PlacementError):
+            spaced_slots(22, 23)
+
+
+class TestPlacementPlan:
+    def test_place_and_lookup(self):
+        plan = PlacementPlan()
+        plan.place("a", frozenset({1, 2, 3}))
+        assert plan.holders("a") == frozenset({1, 2, 3})
+        assert plan.replica_count("a") == 3
+
+    def test_unplaced_raises(self):
+        with pytest.raises(PlacementError):
+            PlacementPlan().holders("ghost")
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(PlacementError):
+            PlacementPlan().place("a", frozenset())
+
+
+class TestKPerPlanePlacement:
+    def test_replica_count(self, shell1):
+        placement = KPerPlanePlacement(copies_per_plane=4)
+        holders = placement.place_object("video-1", shell1)
+        assert len(holders) == 4 * shell1.num_planes
+
+    def test_every_plane_covered(self, shell1):
+        holders = KPerPlanePlacement(copies_per_plane=2).place_object("x", shell1)
+        planes = {h // shell1.sats_per_plane for h in holders}
+        assert planes == set(range(shell1.num_planes))
+
+    def test_different_objects_different_satellites(self, shell1):
+        placement = KPerPlanePlacement(copies_per_plane=4)
+        a = placement.place_object("object-a", shell1)
+        b = placement.place_object("object-b", shell1)
+        assert a != b
+
+    def test_deterministic(self, shell1):
+        placement = KPerPlanePlacement(copies_per_plane=4)
+        assert placement.place_object("x", shell1) == placement.place_object("x", shell1)
+
+    def test_build_plan(self, shell1):
+        plan = KPerPlanePlacement(copies_per_plane=1).build_plan(["a", "b"], shell1)
+        assert plan.replica_count("a") == shell1.num_planes
+        assert plan.replica_count("b") == shell1.num_planes
+
+
+class TestRandomPlacement:
+    def test_total_copies(self, shell1):
+        placement = RandomPlacement(total_copies=50, rng=np.random.default_rng(0))
+        assert len(placement.place_object("x", shell1)) == 50
+
+    def test_invalid_copies_rejected(self, shell1):
+        placement = RandomPlacement(total_copies=0)
+        with pytest.raises(PlacementError):
+            placement.place_object("x", shell1)
+
+
+class TestReplicaHopProfile:
+    def test_holders_at_zero(self, small_snapshot):
+        profile = replica_hop_profile(small_snapshot, frozenset({0, 10}))
+        assert profile[0] == 0
+        assert profile[10] == 0
+
+    def test_all_satellites_profiled(self, small_snapshot, small_shell):
+        profile = replica_hop_profile(small_snapshot, frozenset({0}))
+        assert len(profile) == small_shell.total_satellites
+
+    def test_empty_holders_rejected(self, small_snapshot):
+        with pytest.raises(PlacementError):
+            replica_hop_profile(small_snapshot, frozenset())
+
+    def test_unknown_holder_rejected(self, small_snapshot):
+        with pytest.raises(PlacementError):
+            replica_hop_profile(small_snapshot, frozenset({99999}))
+
+    def test_more_replicas_never_increase_distance(self, small_snapshot):
+        few = replica_hop_profile(small_snapshot, frozenset({0}))
+        many = replica_hop_profile(small_snapshot, frozenset({0, 20, 40}))
+        assert all(many[sat] <= few[sat] for sat in few)
+
+    def test_paper_claim_4_copies_per_plane_within_5_hops(self, shell1_snapshot, shell1):
+        # Paper §4: "with around 4 copies distributed within each plane, an
+        # object can be reachable within 5 hops, even within a single orbital
+        # plane; fewer copies would be needed if east-west ISLs ... are used."
+        holders = KPerPlanePlacement(copies_per_plane=4).place_object(
+            "popular-video", shell1
+        )
+        profile = replica_hop_profile(shell1_snapshot, holders)
+        assert max(profile.values()) <= 5
+
+    def test_intra_plane_only_bound(self, shell1):
+        # Even ignoring cross-plane links, 4 evenly spaced copies in a
+        # 22-satellite ring leave at most ceil((22/4)/2) = 3 hops.
+        slots = spaced_slots(22, 4)
+        worst = max(
+            min(min((s - slot) % 22, (slot - s) % 22) for s in slots)
+            for slot in range(22)
+        )
+        assert worst <= 3

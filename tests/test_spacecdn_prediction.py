@@ -1,0 +1,110 @@
+"""Tests for learned popularity prediction."""
+
+import numpy as np
+import pytest
+
+from repro.cdn.content import build_catalog
+from repro.errors import ConfigurationError
+from repro.spacecdn.bubbles import RegionalPopularity
+from repro.spacecdn.prediction import LearnedPrefetcher, PopularityPredictor
+
+
+class TestPredictor:
+    def test_observe_and_score(self):
+        predictor = PopularityPredictor()
+        predictor.observe("africa", "a")
+        predictor.observe("africa", "a")
+        predictor.observe("africa", "b")
+        assert predictor.score("africa", "a") == 2.0
+        assert predictor.score("africa", "b") == 1.0
+        assert predictor.score("africa", "never") == 0.0
+
+    def test_predict_top_ranked(self):
+        predictor = PopularityPredictor()
+        for _ in range(5):
+            predictor.observe("europe", "hot")
+        predictor.observe("europe", "warm")
+        assert predictor.predict_top("europe", 2) == ["hot", "warm"]
+
+    def test_predict_top_cold_region_empty(self):
+        assert PopularityPredictor().predict_top("nowhere", 3) == []
+
+    def test_decay_fades_old_trends(self):
+        predictor = PopularityPredictor(decay=0.5)
+        for _ in range(4):
+            predictor.observe("africa", "old-hit")
+        for _ in range(4):
+            predictor.end_epoch("africa")
+        predictor.observe("africa", "new-hit")
+        predictor.observe("africa", "new-hit")
+        assert predictor.predict_top("africa", 1) == ["new-hit"]
+
+    def test_scores_garbage_collected(self):
+        predictor = PopularityPredictor(decay=0.1)
+        predictor.observe("africa", "x")
+        for _ in range(10):
+            predictor.end_epoch()
+        assert predictor.score("africa", "x") == 0.0
+        assert predictor.regions_seen() == []
+
+    def test_regions_isolated(self):
+        predictor = PopularityPredictor()
+        predictor.observe("africa", "a")
+        assert predictor.score("europe", "a") == 0.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            PopularityPredictor(decay=0.0)
+        with pytest.raises(ConfigurationError):
+            PopularityPredictor().observe("r", "x", weight=0.0)
+        with pytest.raises(ConfigurationError):
+            PopularityPredictor().predict_top("r", 0)
+
+    def test_deterministic_tie_break(self):
+        predictor = PopularityPredictor()
+        predictor.observe("r", "b")
+        predictor.observe("r", "a")
+        assert predictor.predict_top("r", 2) == ["a", "b"]
+
+
+class TestLearnedPrefetcher:
+    @pytest.fixture
+    def setup(self):
+        catalog = build_catalog(
+            np.random.default_rng(0),
+            300,
+            regions=("africa", "europe"),
+            global_fraction=0.1,
+            kind_weights={"web": 1.0},
+        )
+        oracle = RegionalPopularity(catalog=catalog, seed=1)
+        return catalog, oracle
+
+    def test_learns_oracle_head_from_traffic(self, setup):
+        # Feed the learner real oracle-driven traffic over several passes;
+        # its predicted top-20 must substantially overlap the true top-20.
+        _, oracle = setup
+        prefetcher = LearnedPrefetcher()
+        for _ in range(6):  # six passes over the region
+            for _ in range(400):
+                prefetcher.observe_request("africa", oracle.sample("africa"))
+            prefetcher.on_pass_complete("africa")
+        overlap = prefetcher.hit_rate_vs_oracle(
+            "africa", oracle.top_objects("africa", 20)
+        )
+        assert overlap >= 0.6
+
+    def test_cold_start_predicts_nothing(self, setup):
+        prefetcher = LearnedPrefetcher()
+        assert prefetcher.prefetch_list("africa", 10) == []
+
+    def test_oracle_comparison_rejects_empty(self, setup):
+        with pytest.raises(ConfigurationError):
+            LearnedPrefetcher().hit_rate_vs_oracle("africa", [])
+
+    def test_prefetch_list_bounded(self, setup):
+        _, oracle = setup
+        prefetcher = LearnedPrefetcher()
+        for _ in range(50):
+            prefetcher.observe_request("europe", oracle.sample("europe"))
+        assert len(prefetcher.prefetch_list("europe", 10)) <= 10

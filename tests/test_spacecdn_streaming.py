@@ -1,0 +1,102 @@
+"""Tests for the ABR streaming session model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.spacecdn.streaming import AbrPlayer, constant_path
+
+
+def player_for(rtt_ms: float, throughput_mbps: float, **kwargs) -> AbrPlayer:
+    rtt_fn, tp_fn = constant_path(rtt_ms, throughput_mbps)
+    return AbrPlayer(rtt_ms_fn=rtt_fn, throughput_mbps_fn=tp_fn, **kwargs)
+
+
+class TestValidation:
+    def test_empty_ladder_rejected(self):
+        rtt_fn, tp_fn = constant_path(20.0, 50.0)
+        with pytest.raises(ConfigurationError):
+            AbrPlayer(rtt_ms_fn=rtt_fn, throughput_mbps_fn=tp_fn, bitrate_ladder_mbps=())
+
+    def test_unsorted_ladder_rejected(self):
+        rtt_fn, tp_fn = constant_path(20.0, 50.0)
+        with pytest.raises(ConfigurationError):
+            AbrPlayer(
+                rtt_ms_fn=rtt_fn,
+                throughput_mbps_fn=tp_fn,
+                bitrate_ladder_mbps=(5.0, 1.0),
+            )
+
+    def test_invalid_durations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            player_for(20.0, 50.0, segment_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            player_for(20.0, 50.0).play(0.0)
+
+    def test_constant_path_validation(self):
+        with pytest.raises(ConfigurationError):
+            constant_path(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            constant_path(10.0, 0.0)
+
+
+class TestGoodPath:
+    def test_fast_path_reaches_top_bitrate(self):
+        report = player_for(20.0, 100.0).play(300.0)
+        assert report.rebuffer_events == 0
+        assert report.rebuffer_ratio == 0.0
+        # After ramping from the conservative start, segments run at 16 Mbps.
+        assert report.mean_bitrate_mbps > 10.0
+
+    def test_startup_delay_small_on_fast_path(self):
+        report = player_for(20.0, 100.0).play(60.0)
+        assert report.startup_delay_s < 0.5
+
+    def test_segment_count(self):
+        report = player_for(20.0, 100.0, segment_duration_s=4.0).play(60.0)
+        assert report.segments == 15
+
+
+class TestBadPath:
+    def test_thin_path_drops_bitrate(self):
+        fast = player_for(20.0, 100.0).play(300.0)
+        thin = player_for(20.0, 3.0).play(300.0)
+        assert thin.mean_bitrate_mbps < fast.mean_bitrate_mbps / 2
+
+    def test_starved_path_rebuffers(self):
+        # Throughput below the lowest bitrate: every segment stalls.
+        report = player_for(50.0, 0.5).play(120.0)
+        assert report.rebuffer_events > 0
+        assert report.rebuffer_ratio > 0.5
+
+    def test_rtt_hurts_at_fixed_throughput(self):
+        near = player_for(20.0, 6.0).play(300.0)
+        far = player_for(300.0, 6.0).play(300.0)
+        assert far.mean_bitrate_mbps <= near.mean_bitrate_mbps
+        assert far.startup_delay_s > near.startup_delay_s
+
+
+class TestPaperScenario:
+    def test_spacecdn_beats_isl_starlink_for_maputo_video(self):
+        """SpaceCDN path (RTT ~35 ms, healthy throughput) vs today's
+        Maputo->Frankfurt path (RTT ~150 ms, Mathis-bound ~12 Mbps with
+        bufferbloat spikes): QoE must clearly favour SpaceCDN."""
+        rng = np.random.default_rng(0)
+
+        space = player_for(35.0, 60.0).play(600.0)
+
+        def bufferbloated_rtt() -> float:
+            # Idle ~150 ms with frequent loaded spikes (paper: >200 ms).
+            return 150.0 + float(rng.exponential(60.0))
+
+        def thin_throughput() -> float:
+            return max(2.0, float(rng.normal(10.0, 3.0)))
+
+        today_player = AbrPlayer(
+            rtt_ms_fn=bufferbloated_rtt, throughput_mbps_fn=thin_throughput
+        )
+        today = today_player.play(600.0)
+
+        assert space.mean_bitrate_mbps > today.mean_bitrate_mbps
+        assert space.rebuffer_ratio <= today.rebuffer_ratio
+        assert space.startup_delay_s < today.startup_delay_s

@@ -1,0 +1,96 @@
+"""Tests for video striping across successive satellites."""
+
+import pytest
+
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.spacecdn.striping import plan_stripes, stripe_coverage_gaps
+
+
+@pytest.fixture(scope="module")
+def plan(shell1_constellation):
+    # A two-hour movie in 3-minute stripes, viewer on the equator. At the
+    # 25 deg elevation mask a pass lasts ~2-4 minutes, so 3-minute stripes
+    # are the regime where single passes can cover whole stripes.
+    return plan_stripes(
+        constellation=shell1_constellation,
+        viewer=GeoPoint(0.0, 0.0, 0.0),
+        start_s=0.0,
+        video_duration_s=7200.0,
+        stripe_duration_s=180.0,
+        pass_step_s=15.0,
+    )
+
+
+class TestPlanStripes:
+    def test_stripe_count(self, plan):
+        assert plan.num_stripes == 40
+
+    def test_stripes_cover_whole_video(self, plan):
+        assert plan.assignments[0].playback_start_s == 0.0
+        assert plan.assignments[-1].playback_end_s == 7200.0
+        for a, b in zip(plan.assignments, plan.assignments[1:]):
+            assert a.playback_end_s == b.playback_start_s
+
+    def test_each_stripe_overlaps_its_pass(self, plan):
+        for assignment in plan.assignments:
+            overlap = min(assignment.pass_window.end_s, assignment.playback_end_s) - max(
+                assignment.pass_window.start_s, assignment.playback_start_s
+            )
+            assert overlap > 0
+
+    def test_uses_multiple_satellites(self, plan):
+        # Passes last 5-10 minutes, so a 2-hour video must hop satellites.
+        assert len(set(a.satellite for a in plan.assignments)) >= 8
+
+    def test_satellite_for_time(self, plan):
+        first = plan.assignments[0]
+        assert plan.satellite_for_time(0.0) == first.satellite
+        assert plan.satellite_for_time(first.playback_end_s - 1.0) == first.satellite
+
+    def test_satellite_for_time_outside_session_raises(self, plan):
+        with pytest.raises(ConfigurationError):
+            plan.satellite_for_time(10_000.0)
+
+    def test_distinct_satellites_dedup_consecutive(self, plan):
+        chain = plan.distinct_satellites()
+        assert all(a != b for a, b in zip(chain, chain[1:]))
+
+    def test_invalid_durations_rejected(self, shell1_constellation):
+        with pytest.raises(ConfigurationError):
+            plan_stripes(shell1_constellation, GeoPoint(0.0, 0.0), 0.0, -10.0)
+        with pytest.raises(ConfigurationError):
+            plan_stripes(
+                shell1_constellation, GeoPoint(0.0, 0.0), 0.0, 100.0, stripe_duration_s=0.0
+            )
+
+    def test_uncovered_viewer_raises(self, shell1_constellation):
+        with pytest.raises(VisibilityError):
+            plan_stripes(
+                shell1_constellation,
+                GeoPoint(78.2, 15.6, 0.0),  # above the inclination limit
+                0.0,
+                600.0,
+                pass_step_s=30.0,
+            )
+
+
+class TestUploadSlack:
+    def test_later_stripes_can_preload(self, plan):
+        # Paper: "while Stripe 1 is being streamed ... subsequent stripes can
+        # be uploaded onto the caches of the satellites that follow". At
+        # least some assignments must have positive pre-visibility slack.
+        positive_slack = [a for a in plan.assignments if a.slack_before_s > 0]
+        assert len(positive_slack) >= plan.num_stripes // 3
+
+
+class TestCoverageGaps:
+    def test_gaps_are_small_fraction(self, plan):
+        gaps = stripe_coverage_gaps(plan)
+        total_gap = sum(g for _, g in gaps)
+        assert total_gap < 0.25 * 7200.0
+
+    def test_gap_entries_reference_valid_stripes(self, plan):
+        for stripe_index, gap_s in stripe_coverage_gaps(plan):
+            assert 0 <= stripe_index < plan.num_stripes
+            assert gap_s > 0

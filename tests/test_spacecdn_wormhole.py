@@ -1,0 +1,145 @@
+"""Tests for content wormholing (orbital bulk relay)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.spacecdn.wormhole import WormholePlanner
+
+
+@pytest.fixture(scope="module")
+def planner(shell1_constellation) -> WormholePlanner:
+    return WormholePlanner(constellation=shell1_constellation, scan_step_s=30.0)
+
+
+# Two same-latitude regions ~7500 km apart (roughly US east coast -> Iberia).
+SOURCE = GeoPoint(39.0, -77.0, 0.0)
+DESTINATION = GeoPoint(40.0, -4.0, 0.0)
+
+
+class TestConfiguration:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"footprint_radius_km": 0.0},
+            {"uplink_gbps": 0.0},
+            {"downlink_gbps": -1.0},
+            {"scan_step_s": 0.0},
+        ],
+    )
+    def test_invalid_config(self, shell1_constellation, kwargs):
+        base = dict(constellation=shell1_constellation)
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            WormholePlanner(**base)
+
+    def test_transfer_time(self, planner):
+        # 100 GB at 4 Gbps = 200 s.
+        assert planner.transfer_time_s(100.0, 4.0) == pytest.approx(200.0)
+
+    def test_invalid_bundle(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.transfer_time_s(0.0, 4.0)
+
+
+class TestPlan:
+    def test_plan_found_within_one_orbit(self, planner):
+        plan = planner.plan(SOURCE, DESTINATION, bundle_gb=50.0)
+        assert plan.load_end_s > plan.load_start_s
+        assert plan.unload_start_s >= plan.load_end_s
+        assert plan.unload_end_s > plan.unload_start_s
+        assert plan.carry_time_s >= 0.0
+
+    def test_carry_time_physically_plausible(self, planner):
+        # ~7500 km at ~7.6 km/s ground-track speed: the carry leg must take
+        # at least ~10 minutes and at most one orbit.
+        plan = planner.plan(SOURCE, DESTINATION, bundle_gb=50.0)
+        assert 400.0 < plan.carry_time_s < 5700.0
+
+    def test_bigger_bundle_takes_longer_or_equal(self, planner):
+        small = planner.plan(SOURCE, DESTINATION, bundle_gb=10.0)
+        big = planner.plan(SOURCE, DESTINATION, bundle_gb=100.0)
+        assert big.unload_end_s >= small.unload_end_s
+
+    def test_impossible_bundle_raises(self, planner):
+        # A bundle too large to uplink within any single pass.
+        with pytest.raises(VisibilityError):
+            planner.plan(SOURCE, DESTINATION, bundle_gb=50_000.0, horizon_s=2000.0)
+
+    def test_uncovered_destination_raises(self, planner):
+        svalbard = GeoPoint(78.2, 15.6, 0.0)
+        with pytest.raises(VisibilityError):
+            planner.plan(SOURCE, svalbard, bundle_gb=10.0, horizon_s=2000.0)
+
+
+class TestWanComparison:
+    def test_wan_time(self, planner):
+        t = planner.wan_delivery_time_s(SOURCE, DESTINATION, bundle_gb=100.0, wan_gbps=1.0)
+        # 800 s serialisation + ~55 ms propagation.
+        assert 800.0 < t < 810.0
+
+    def test_wormhole_beats_thin_wan_for_bulk(self, planner):
+        # The wormholing pitch: for bundles that fit in one pass's uplink
+        # budget but would crawl over a thin-pipe WAN into the destination
+        # region, the orbital relay wins despite the carry latency.
+        bundle = 100.0  # 100 GB: ~200 s of uplink, well within one pass
+        plan = planner.plan(SOURCE, DESTINATION, bundle_gb=bundle, horizon_s=5700.0)
+        wan = planner.wan_delivery_time_s(SOURCE, DESTINATION, bundle, wan_gbps=0.2)
+        assert plan.delivery_time_s < wan
+
+    def test_wan_invalid_rate(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.wan_delivery_time_s(SOURCE, DESTINATION, 1.0, wan_gbps=0.0)
+
+
+class TestShellPresets:
+    def test_all_presets_valid(self):
+        from repro.orbits.elements import all_shell_presets
+
+        presets = all_shell_presets()
+        assert len(presets) == 5
+        names = {p.name for p in presets}
+        assert len(names) == 5
+        for preset in presets:
+            assert preset.total_satellites > 500
+
+    def test_oneweb_has_no_isls(self):
+        from repro.orbits.elements import oneweb_phase1
+        from repro.topology.isl import plus_grid_links
+
+        shell = oneweb_phase1()
+        assert not shell.isl_capable
+        assert plus_grid_links(shell) == ()
+
+    def test_oneweb_spacecdn_only_serves_overhead(self):
+        """Without ISLs, a lookup can only hit the access satellite."""
+        from repro.geo.coordinates import GeoPoint
+        from repro.orbits.elements import oneweb_phase1
+        from repro.orbits.walker import build_walker_delta
+        from repro.spacecdn.lookup import LookupSource, SpaceCdnLookup
+        from repro.topology.graph import build_snapshot
+
+        constellation = build_walker_delta(oneweb_phase1())
+        snapshot = build_snapshot(constellation, 0.0)
+        lookup = SpaceCdnLookup(snapshot=snapshot, max_hops=10)
+        user = GeoPoint(0.0, 0.0)
+        everywhere = frozenset(range(len(constellation)))
+        hit = lookup.lookup_from_point(user, everywhere)
+        assert hit.source is LookupSource.ACCESS_SATELLITE
+        # Content on any OTHER satellite is unreachable in space.
+        other = frozenset({(hit.access_satellite + 1) % len(constellation)})
+        miss = lookup.lookup_from_point(user, other)
+        assert miss.source is LookupSource.GROUND
+
+    def test_vleo_lower_than_shell1(self):
+        from repro.orbits.elements import starlink_shell1, starlink_vleo
+
+        assert starlink_vleo().altitude_km < starlink_shell1().altitude_km
+
+    def test_shell3_reaches_higher_latitudes(self):
+        from repro.orbits.elements import starlink_shell3
+        from repro.orbits.walker import build_walker_delta
+
+        constellation = build_walker_delta(starlink_shell3())
+        lats = constellation.subsatellite_points(0.0)[:, 0]
+        assert abs(lats).max() > 60.0

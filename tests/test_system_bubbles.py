@@ -1,0 +1,95 @@
+"""Tests for region lookup and bubble prefetch inside the live system."""
+
+import numpy as np
+import pytest
+
+from repro.cdn.content import build_catalog
+from repro.errors import ConfigurationError, DatasetError
+from repro.geo.datasets.cities import region_under
+from repro.spacecdn.bubbles import RegionalPopularity
+from repro.spacecdn.lookup import LookupSource
+from repro.spacecdn.system import SpaceCdnSystem
+
+
+class TestRegionUnder:
+    def test_known_land_points(self):
+        assert region_under(-25.97, 32.57) == "africa"  # Maputo
+        assert region_under(50.1, 8.7) == "europe"  # Frankfurt
+        assert region_under(35.7, 139.7) == "asia"  # Tokyo
+
+    def test_open_ocean_is_none(self):
+        # Mid South Pacific, thousands of km from any vantage city.
+        assert region_under(-40.0, -120.0) is None
+
+    def test_distance_cap_widens_coverage(self):
+        # A point ~2000 km from the nearest city flips with the cap.
+        assert region_under(-40.0, -120.0, max_distance_km=20_000.0) is not None
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(DatasetError):
+            region_under(0.0, 0.0, max_distance_km=0.0)
+
+
+class TestBubblePrefetch:
+    @pytest.fixture
+    def setup(self, shell1_constellation):
+        catalog = build_catalog(
+            np.random.default_rng(0),
+            200,
+            regions=("africa", "europe", "south-america"),
+            global_fraction=0.1,
+            kind_weights={"web": 1.0},
+        )
+        system = SpaceCdnSystem(
+            constellation=shell1_constellation,
+            catalog=catalog,
+            cache_bytes_per_satellite=20_000_000,
+            max_hops=5,
+        )
+        popularity = RegionalPopularity(catalog=catalog, seed=1)
+        return system, popularity
+
+    def test_prefetch_stores_content(self, setup):
+        system, popularity = setup
+        stored = system.bubble_prefetch(popularity, t_s=0.0, objects_per_region=5)
+        assert stored > 0
+
+    def test_prefetch_improves_first_request(self, setup):
+        system, popularity = setup
+        system.bubble_prefetch(popularity, t_s=0.0, objects_per_region=10)
+        # The hottest African object should now be served from space for a
+        # user in Africa, with zero prior traffic.
+        from repro.geo.datasets import city_by_name
+
+        maputo = city_by_name("Maputo")
+        hot = popularity.top_objects("africa", 1)[0]
+        result = system.serve(maputo.location, hot, 0.0)
+        assert result.source is not LookupSource.GROUND
+
+    def test_prefetch_idempotent_per_instant(self, setup):
+        system, popularity = setup
+        first = system.bubble_prefetch(popularity, t_s=0.0, objects_per_region=5)
+        second = system.bubble_prefetch(popularity, t_s=0.0, objects_per_region=5)
+        assert first > 0
+        assert second == 0  # everything already cached
+
+    def test_satellites_over_ocean_left_alone(self, setup):
+        system, popularity = setup
+        system.bubble_prefetch(popularity, t_s=0.0, objects_per_region=5)
+        tracks = system.constellation.subsatellite_points(0.0)
+        for satellite, (lat, lon) in enumerate(tracks):
+            if region_under(float(lat), float(lon)) is None:
+                assert len(system.cache_of(satellite)) == 0
+
+    def test_invalid_count_rejected(self, setup):
+        system, popularity = setup
+        with pytest.raises(ConfigurationError):
+            system.bubble_prefetch(popularity, t_s=0.0, objects_per_region=0)
+
+    def test_index_consistent_after_prefetch(self, setup):
+        system, popularity = setup
+        system.bubble_prefetch(popularity, t_s=0.0, objects_per_region=5)
+        for region in popularity.regions():
+            for object_id in popularity.top_objects(region, 5):
+                for satellite in system.holders_of(object_id):
+                    assert object_id in system.cache_of(satellite)

@@ -1,0 +1,94 @@
+"""Tests for snapshot graph construction."""
+
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT_KM_S
+from repro.errors import ConfigurationError, VisibilityError
+from repro.geo.coordinates import GeoPoint
+from repro.topology.graph import access_latency_ms, build_snapshot, isl_latency_ms
+
+
+class TestLatencyFunctions:
+    def test_isl_latency_zero_distance_is_processing_only(self):
+        from repro.constants import ISL_HOP_PROCESSING_MS
+
+        assert isl_latency_ms(0.0) == ISL_HOP_PROCESSING_MS
+
+    def test_isl_latency_linear_in_distance(self):
+        base = isl_latency_ms(0.0)
+        assert isl_latency_ms(2997.92458) == pytest.approx(base + 10.0)
+
+    def test_isl_negative_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            isl_latency_ms(-1.0)
+
+    def test_access_latency_includes_overheads(self):
+        prop_only = 550.0 / SPEED_OF_LIGHT_KM_S * 1000.0
+        assert access_latency_ms(550.0) > prop_only + 4.0
+
+    def test_access_negative_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            access_latency_ms(-5.0)
+
+
+class TestBuildSnapshot:
+    def test_node_count(self, small_snapshot, small_shell):
+        assert len(small_snapshot.satellite_nodes()) == small_shell.total_satellites
+
+    def test_edge_count(self, small_snapshot, small_shell):
+        assert small_snapshot.graph.number_of_edges() == 2 * small_shell.total_satellites
+
+    def test_edges_have_positive_latency(self, small_snapshot):
+        for _, _, data in small_snapshot.graph.edges(data=True):
+            assert data["latency_ms"] > 0.0
+            assert data["distance_km"] > 0.0
+
+    def test_edge_latency_matches_distance(self, small_snapshot):
+        for a, b, data in small_snapshot.graph.edges(data=True):
+            assert data["latency_ms"] == pytest.approx(
+                isl_latency_ms(data["distance_km"])
+            )
+
+    def test_graph_is_connected(self, small_snapshot):
+        import networkx as nx
+
+        assert nx.is_connected(small_snapshot.graph)
+
+    def test_shell1_graph_connected(self, shell1_snapshot):
+        import networkx as nx
+
+        assert nx.is_connected(shell1_snapshot.graph)
+
+    def test_edge_latency_accessor(self, small_snapshot):
+        a, b = next(iter(small_snapshot.graph.edges))
+        assert small_snapshot.edge_latency_ms(a, b) > 0
+
+
+class TestAttachGroundNode:
+    def test_attach_links_to_visible_satellites(self, shell1_snapshot):
+        linked = shell1_snapshot.attach_ground_node("ut:test", GeoPoint(10.0, 10.0))
+        assert linked
+        for sat in linked:
+            data = shell1_snapshot.graph["ut:test"][sat]
+            assert data["kind"] == "access"
+            assert data["latency_ms"] > 0
+        # Clean up the shared session fixture.
+        shell1_snapshot.graph.remove_node("ut:test")
+        del shell1_snapshot.ground_nodes["ut:test"]
+
+    def test_attach_twice_rejected(self, small_snapshot):
+        small_snapshot.attach_ground_node("ut:x", GeoPoint(0.0, 0.0))
+        with pytest.raises(ConfigurationError):
+            small_snapshot.attach_ground_node("ut:x", GeoPoint(0.0, 0.0))
+
+    def test_attach_outside_coverage_raises(self, shell1_snapshot):
+        with pytest.raises(VisibilityError):
+            shell1_snapshot.attach_ground_node("ut:svalbard", GeoPoint(78.2, 15.6))
+
+    def test_max_links_respected(self, shell1_snapshot):
+        linked = shell1_snapshot.attach_ground_node(
+            "ut:limited", GeoPoint(-10.0, 40.0), max_links=2
+        )
+        assert len(linked) <= 2
+        shell1_snapshot.graph.remove_node("ut:limited")
+        del shell1_snapshot.ground_nodes["ut:limited"]
