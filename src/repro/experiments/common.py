@@ -26,9 +26,19 @@ def shell1_constellation() -> Constellation:
 
 
 @lru_cache(maxsize=16)
-def shell1_snapshot(t_s: float) -> SnapshotGraph:
-    """A cached ISL snapshot graph of Shell 1 at time ``t_s``."""
+def _shell1_snapshot_cached(t_s: float) -> SnapshotGraph:
     return build_snapshot(shell1_constellation(), t_s)
+
+
+def shell1_snapshot(t_s: float) -> SnapshotGraph:
+    """An ISL snapshot graph of Shell 1 at time ``t_s``.
+
+    The expensive arrays (positions, CSR link weights) are cached per
+    epoch; each call returns an independent defensive copy sharing them,
+    so callers that mutate their snapshot (``attach_ground_node``, manual
+    graph edits) cannot poison later experiments in the same process.
+    """
+    return _shell1_snapshot_cached(t_s).copy()
 
 
 @lru_cache(maxsize=4)

@@ -24,10 +24,9 @@ from repro.experiments.common import (
     shell1_snapshot,
 )
 from repro.measurements.aim import STARLINK, TERRESTRIAL
-from repro.orbits.visibility import nearest_visible_satellite
+from repro.orbits.visibility import nearest_visible_satellites
 from repro.simulation.sampler import seeded_rng, user_sample_points
-from repro.topology.graph import access_latency_ms
-from repro.topology.routing import latency_by_hop_count
+from repro.topology import fastcore
 
 HOP_COUNTS: tuple[int, ...] = (0, 3, 5, 10)
 """0 = content on the access satellite itself (the paper's "1st/Sat")."""
@@ -61,6 +60,11 @@ def spacecdn_rtt_samples(
     For each (user, epoch): access the nearest visible satellite, then for
     every requested hop count n take the cheapest satellite exactly n ISL
     hops away; RTT doubles the one-way path and adds the cache think time.
+
+    All users of an epoch resolve in one vectorised pass: a batched
+    visibility query picks every access satellite at once, and one
+    :func:`~repro.topology.fastcore.hop_ladder_batch` call over the unique
+    access satellites replaces the per-user graph traversals.
     """
     if users_per_epoch < 1 or num_epochs < 1:
         raise ConfigurationError("users_per_epoch and num_epochs must be >= 1")
@@ -68,20 +72,41 @@ def spacecdn_rtt_samples(
     rng = seeded_rng(seed, 0x717)
     samples: dict[int, list[float]] = {n: [] for n in hop_counts}
     max_hops = max(hop_counts)
+    hop_array = np.asarray(hop_counts)
 
     for epoch in shell1_epochs(num_epochs, seed):
         snapshot = shell1_snapshot(epoch)
-        for user in user_sample_points(rng, users_per_epoch):
-            access = nearest_visible_satellite(constellation, user, epoch)
-            access_ms = access_latency_ms(access.slant_range_km)
-            ladder = latency_by_hop_count(snapshot, access.index, max_hops)
-            for n in hop_counts:
-                isl_ms = ladder.get(n)
-                if isl_ms is None:
-                    continue  # no satellite at exactly n hops (never for +Grid)
-                one_way = access_ms + isl_ms
-                samples[n].append(2.0 * one_way + CDN_SERVER_THINK_TIME_MS)
+        users = user_sample_points(rng, users_per_epoch)
+        access_idx, slant_km = nearest_visible_satellites(
+            constellation, users, epoch
+        )
+        access_ms = access_latency_ms_batch(slant_km)
+        unique_access, inverse = np.unique(access_idx, return_inverse=True)
+        ladders = fastcore.hop_ladder_batch(snapshot.core, unique_access, max_hops)
+        # (user, hop-count) RTT matrix; NaN where no satellite sits at
+        # exactly n hops (never for a connected +Grid).
+        rtts = (
+            2.0 * (access_ms[:, None] + ladders[inverse][:, hop_array])
+            + CDN_SERVER_THINK_TIME_MS
+        )
+        for j, n in enumerate(hop_counts):
+            samples[n].extend(float(v) for v in rtts[:, j] if not np.isnan(v))
     return samples
+
+
+def access_latency_ms_batch(slant_range_km: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`~repro.topology.graph.access_latency_ms`."""
+    from repro.constants import (
+        SPEED_OF_LIGHT_KM_S,
+        STARLINK_PROCESSING_DELAY_MS,
+        STARLINK_SCHEDULING_DELAY_MS,
+    )
+
+    return (
+        slant_range_km / SPEED_OF_LIGHT_KM_S * 1000.0
+        + STARLINK_SCHEDULING_DELAY_MS
+        + STARLINK_PROCESSING_DELAY_MS
+    )
 
 
 def run(

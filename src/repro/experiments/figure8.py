@@ -73,9 +73,10 @@ def run(
                     seed=seed,
                 ),
             )
-            for user in users:
-                one_way = model.one_way_ms(user)
-                samples[fraction].append(2.0 * one_way + CDN_SERVER_THINK_TIME_MS)
+            one_way = model.one_way_ms_batch(users)
+            samples[fraction].extend(
+                float(v) for v in 2.0 * one_way + CDN_SERVER_THINK_TIME_MS
+            )
 
     dataset = aim_dataset(seed)
     terrestrial_median = median_or_nan(dataset.all_rtts(TERRESTRIAL))

@@ -123,6 +123,9 @@ class AimGenerator:
     candidate_sites: int = 8
     terrestrial: TerrestrialPathModel = field(init=False)
     starlink: StarlinkPathModel = field(init=False)
+    _candidate_cache: dict[tuple[float, float], list[CdnSite]] = field(
+        init=False, default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.probes_per_site < 1 or self.candidate_sites < 1:
@@ -166,10 +169,16 @@ class AimGenerator:
             anchor = assigned_pop(city.iso2, city.lat_deg, city.lon_deg).location
         else:
             raise ConfigurationError(f"unknown ISP class: {isp!r}")
-        sites = sorted(
-            all_cdn_sites(), key=lambda s: great_circle_km(anchor, s.location)
-        )
-        return sites[: self.candidate_sites]
+        # Memoised per anchor: Starlink clients of one country share their
+        # assigned PoP's anchor, so the sorted site list is identical.
+        key = (anchor.lat_deg, anchor.lon_deg)
+        cached = self._candidate_cache.get(key)
+        if cached is None:
+            cached = sorted(
+                all_cdn_sites(), key=lambda s: great_circle_km(anchor, s.location)
+            )[: self.candidate_sites]
+            self._candidate_cache[key] = cached
+        return list(cached)
 
     def optimal_site(self, city: City, isp: str) -> tuple[CdnSite, float]:
         """The median-latency-optimal CDN site for a city/ISP (paper §3.1)."""

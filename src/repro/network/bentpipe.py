@@ -89,6 +89,9 @@ class StarlinkPathModel:
     _path_cache: dict[tuple[float, float, str], StarlinkPath] = field(
         default_factory=dict, repr=False
     )
+    _remote_cache: dict[tuple[float, float, str, float, float, str], float] = field(
+        default_factory=dict, repr=False
+    )
 
     def resolve_path(self, city: City) -> StarlinkPath:
         """Resolve the structural path for a client in ``city`` (cached)."""
@@ -185,14 +188,31 @@ class StarlinkPathModel:
     def pop_to_remote_one_way_ms(
         self, city: City, remote: GeoPoint, remote_iso2: str
     ) -> float:
-        """Deterministic one-way latency from the client's PoP to a remote host."""
+        """Deterministic one-way latency from the client's PoP to a remote host.
+
+        Memoised per (city, remote) pair: the AIM generator revisits the
+        same pairs for every probe and this leg carries no noise.
+        """
         from repro.geo.datasets import country_by_iso2
 
+        key = (
+            city.lat_deg,
+            city.lon_deg,
+            city.iso2,
+            remote.lat_deg,
+            remote.lon_deg,
+            remote_iso2,
+        )
+        cached = self._remote_cache.get(key)
+        if cached is not None:
+            return cached
         path = self.resolve_path(city)
         distance = great_circle_km(path.pop.location, remote)
         pop_tier = country_by_iso2(path.pop.site.iso2).infra_tier
         remote_tier = country_by_iso2(remote_iso2).infra_tier
-        return fiber_path_ms(distance, max(pop_tier, remote_tier))
+        result = fiber_path_ms(distance, max(pop_tier, remote_tier))
+        self._remote_cache[key] = result
+        return result
 
     def idle_rtt_ms(
         self,

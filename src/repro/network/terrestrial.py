@@ -9,7 +9,7 @@ detours through Europe).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.constants import CDN_SERVER_THINK_TIME_MS
 from repro.errors import ConfigurationError
@@ -23,6 +23,9 @@ class TerrestrialPathModel:
     """Latency model for paths that never leave the ground."""
 
     noise: LatencyNoise
+    _core_cache: dict[tuple[float, float, str, float, float, str], float] = field(
+        default_factory=dict, repr=False
+    )
 
     def path_tier(self, client_iso2: str, remote_iso2: str) -> int:
         """Infrastructure tier governing circuity between two countries.
@@ -37,10 +40,27 @@ class TerrestrialPathModel:
     def one_way_core_ms(
         self, client: GeoPoint, client_iso2: str, remote: GeoPoint, remote_iso2: str
     ) -> float:
-        """Deterministic one-way core-network latency (no last mile, no jitter)."""
+        """Deterministic one-way core-network latency (no last mile, no jitter).
+
+        Memoised per endpoint pair: the AIM generator probes the same
+        city-site pairs thousands of times and this leg never varies.
+        """
+        key = (
+            client.lat_deg,
+            client.lon_deg,
+            client_iso2,
+            remote.lat_deg,
+            remote.lon_deg,
+            remote_iso2,
+        )
+        cached = self._core_cache.get(key)
+        if cached is not None:
+            return cached
         distance = great_circle_km(client, remote)
         tier = self.path_tier(client_iso2, remote_iso2)
-        return fiber_path_ms(distance, tier)
+        result = fiber_path_ms(distance, tier)
+        self._core_cache[key] = result
+        return result
 
     def idle_rtt_ms(
         self,

@@ -15,6 +15,7 @@ from repro.orbits.visibility import (
     VisibleSatellite,
     visible_satellites,
     nearest_visible_satellite,
+    nearest_visible_satellites,
     coverage_fraction,
 )
 from repro.orbits.passes import PassWindow, predict_passes, next_pass
@@ -35,6 +36,7 @@ __all__ = [
     "VisibleSatellite",
     "visible_satellites",
     "nearest_visible_satellite",
+    "nearest_visible_satellites",
     "coverage_fraction",
     "PassWindow",
     "predict_passes",

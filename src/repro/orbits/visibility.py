@@ -79,6 +79,47 @@ def visible_satellites(
     ]
 
 
+def nearest_visible_satellites(
+    constellation: Constellation,
+    points: list[GeoPoint],
+    t_s: float,
+    min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Access satellite for every ground point, one vectorised pass.
+
+    Returns ``(indices, slant_ranges_km)`` arrays aligned with ``points`` —
+    each entry the lowest-slant-range satellite above the elevation mask,
+    exactly as :func:`nearest_visible_satellite` would pick per point.
+    Raises :class:`VisibilityError` if any point sees no satellite.
+    """
+    if not points:
+        raise VisibilityError("no ground points given")
+    observers = np.array(
+        [(e.x, e.y, e.z) for e in (p.to_ecef() for p in points)]
+    )
+    obs_norms = np.linalg.norm(observers, axis=1)
+    sat = constellation.positions_ecef(t_s)
+    los = sat[None, :, :] - observers[:, None, :]  # (P, N, 3)
+    ranges = np.linalg.norm(los, axis=2)
+    cos_zenith = np.einsum("pnc,pc->pn", los, observers) / (
+        ranges * obs_norms[:, None]
+    )
+    np.clip(cos_zenith, -1.0, 1.0, out=cos_zenith)
+    elevations = 90.0 - np.degrees(np.arccos(cos_zenith))
+
+    masked = np.where(elevations >= min_elevation_deg, ranges, np.inf)
+    nearest = masked.argmin(axis=1)
+    best = masked[np.arange(len(points)), nearest]
+    blind = ~np.isfinite(best)
+    if blind.any():
+        p = points[int(np.flatnonzero(blind)[0])]
+        raise VisibilityError(
+            f"no satellite above {min_elevation_deg} deg elevation from "
+            f"({p.lat_deg:.2f}, {p.lon_deg:.2f}) at t={t_s:.0f}s"
+        )
+    return nearest.astype(np.int64), best
+
+
 def nearest_visible_satellite(
     constellation: Constellation,
     point: GeoPoint,

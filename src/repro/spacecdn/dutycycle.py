@@ -13,10 +13,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.constants import MIN_ELEVATION_USER_DEG
+from repro.constants import (
+    MIN_ELEVATION_USER_DEG,
+    SPEED_OF_LIGHT_KM_S,
+    STARLINK_PROCESSING_DELAY_MS,
+    STARLINK_SCHEDULING_DELAY_MS,
+)
 from repro.errors import ConfigurationError
 from repro.geo.coordinates import GeoPoint
-from repro.spacecdn.lookup import LookupResult, SpaceCdnLookup
+from repro.orbits.visibility import nearest_visible_satellites
+from repro.spacecdn.lookup import LookupResult, SpaceCdnLookup, nearest_cached_satellite
 from repro.topology.graph import SnapshotGraph
 
 
@@ -98,3 +104,45 @@ class DutyCycleLatencyModel:
     def one_way_ms(self, user: GeoPoint) -> float:
         """Convenience: the one-way latency of :meth:`lookup`."""
         return self.lookup(user).one_way_ms
+
+    def one_way_ms_batch(
+        self,
+        users: list[GeoPoint],
+        min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+    ) -> np.ndarray:
+        """One-way latency for many users of one snapshot, vectorised.
+
+        Equivalent to calling :meth:`one_way_ms` per user: access the
+        nearest visible satellite, then relay to the cheapest active cache
+        within ``max_hops`` (ground fallback if none). All access links are
+        resolved in one visibility pass and the ISL legs are shared across
+        users behind the same access satellite.
+        """
+        caches = self.scheduler.active_caches_at(self.snapshot.t_s)
+        access_idx, slant_km = nearest_visible_satellites(
+            self.snapshot.constellation, users, self.snapshot.t_s, min_elevation_deg
+        )
+        access_ms = (
+            slant_km / SPEED_OF_LIGHT_KM_S * 1000.0
+            + STARLINK_SCHEDULING_DELAY_MS
+            + STARLINK_PROCESSING_DELAY_MS
+        )
+
+        unique_access, inverse = np.unique(access_idx, return_inverse=True)
+        isl_ms = np.zeros(len(unique_access))
+        grounded = np.zeros(len(unique_access), dtype=bool)
+        for k, access in enumerate(unique_access):
+            if int(access) in caches:
+                continue
+            found = nearest_cached_satellite(
+                self.snapshot, int(access), caches, self._lookup.max_hops
+            )
+            if found is None:
+                grounded[k] = True
+            else:
+                isl_ms[k] = found[2]
+
+        one_way = access_ms + isl_ms[inverse]
+        fallback = grounded[inverse]
+        one_way[fallback] = self._lookup.ground_fallback_one_way_ms
+        return one_way

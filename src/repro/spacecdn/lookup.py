@@ -15,12 +15,53 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.constants import MIN_ELEVATION_USER_DEG
 from repro.errors import ContentNotFoundError, RoutingError
 from repro.geo.coordinates import GeoPoint
 from repro.orbits.visibility import nearest_visible_satellite
+from repro.topology import fastcore
 from repro.topology.graph import SnapshotGraph, access_latency_ms
-from repro.topology.routing import hop_distances, satellite_latencies
+
+
+def nearest_cached_satellite(
+    snapshot: SnapshotGraph,
+    access_satellite: int,
+    cache_satellites: frozenset[int],
+    max_hops: int,
+    min_hops: int = 0,
+) -> tuple[int, int, float] | None:
+    """(satellite, hops, one-way ISL ms) of the cheapest in-range cache.
+
+    One vectorised pass over the CSR core: hop counts bound the candidate
+    set, latency picks the winner (lowest index on exact ties). Satellites
+    outside the snapshot (or failed) never qualify. Returns ``None`` when
+    no cache is within ``max_hops``.
+    """
+    if not cache_satellites:
+        return None
+    hops, latencies = fastcore.single_source(
+        snapshot.core, access_satellite, snapshot.active_mask
+    )
+    candidates = np.fromiter(
+        (s for s in sorted(cache_satellites) if 0 <= s < snapshot.core.num_nodes),
+        dtype=np.int64,
+    )
+    if candidates.size == 0:
+        return None
+    cand_hops = hops[candidates]
+    in_range = (
+        (cand_hops >= min_hops)
+        & (cand_hops != fastcore.HOP_UNREACHABLE)
+        & (cand_hops <= max_hops)
+        & np.isfinite(latencies[candidates])
+    )
+    candidates = candidates[in_range]
+    if candidates.size == 0:
+        return None
+    best = int(candidates[np.argmin(latencies[candidates])])
+    return best, int(hops[best]), float(latencies[best])
 
 
 class LookupSource(enum.Enum):
@@ -117,22 +158,9 @@ class SpaceCdnLookup:
         self, access_satellite: int, cache_satellites: frozenset[int]
     ) -> tuple[int, int, float] | None:
         """(satellite, hops, one-way ISL ms) of the cheapest in-range cache."""
-        if not cache_satellites:
-            return None
-        hops = hop_distances(self.snapshot, access_satellite)
-        in_range = {
-            sat: h
-            for sat, h in hops.items()
-            if sat in cache_satellites and h <= self.max_hops
-        }
-        if not in_range:
-            return None
-        latencies = satellite_latencies(self.snapshot, access_satellite)
-        best_sat = min(in_range, key=lambda sat: latencies.get(sat, float("inf")))
-        best_latency = latencies.get(best_sat)
-        if best_latency is None:
-            return None
-        return best_sat, in_range[best_sat], best_latency
+        return nearest_cached_satellite(
+            self.snapshot, access_satellite, cache_satellites, self.max_hops
+        )
 
     def require_space_hit(
         self,

@@ -12,11 +12,11 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
-import networkx as nx
 import numpy as np
 
 from repro.errors import PlacementError
 from repro.orbits.elements import ShellConfig
+from repro.topology import fastcore
 from repro.topology.graph import SnapshotGraph
 
 
@@ -129,20 +129,14 @@ def replica_hop_profile(
     """
     if not holders:
         raise PlacementError("holders set is empty")
-    sat_nodes = snapshot.satellite_nodes()
-    missing = holders.difference(sat_nodes)
+    missing = {h for h in holders if not snapshot.has_satellite(h)}
     if missing:
         raise PlacementError(f"holders not in graph: {sorted(missing)[:5]}")
 
-    sat_graph = snapshot.graph.subgraph(sat_nodes)
-    # Multi-source BFS via a virtual super-source.
-    augmented = nx.Graph(sat_graph.edges)
-    augmented.add_node("_source")
-    for holder in holders:
-        augmented.add_edge("_source", holder)
-    lengths = nx.single_source_shortest_path_length(augmented, "_source")
+    # Multi-source BFS over the CSR core, all satellites at once.
+    hops = fastcore.nearest_hops(snapshot.core, holders, snapshot.active_mask)
     return {
-        int(node): int(dist) - 1
-        for node, dist in lengths.items()
-        if node != "_source"
+        node: int(hops[node])
+        for node in snapshot.satellite_nodes()
+        if hops[node] != fastcore.HOP_UNREACHABLE
     }

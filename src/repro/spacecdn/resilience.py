@@ -2,7 +2,8 @@
 
 LEO satellites fail, deorbit, and duty-cycle out for thermal reasons; a
 placement must survive holes in the grid. :func:`fail_satellites` derives a
-degraded snapshot (failed nodes and their ISLs removed);
+degraded snapshot (failed nodes and their ISLs masked out of the CSR core,
+and removed from any materialised graph view);
 :func:`placement_under_failures` measures how the worst-case hop distance
 to a replica degrades as the failure fraction grows.
 """
@@ -11,10 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import networkx as nx
 import numpy as np
 
 from repro.errors import ConfigurationError, PlacementError
+from repro.topology import fastcore
 from repro.topology.graph import SnapshotGraph
 
 
@@ -23,22 +24,19 @@ def fail_satellites(
 ) -> SnapshotGraph:
     """A degraded copy of a snapshot with the failed satellites removed.
 
-    The original snapshot is untouched; ground nodes are preserved minus
+    The original snapshot is untouched; the CSR arrays are shared (failures
+    are a node mask, not a rebuild) and ground nodes are preserved minus
     links to failed satellites.
     """
     satellites = set(snapshot.satellite_nodes())
     unknown = failed - satellites
     if unknown:
         raise ConfigurationError(f"unknown satellites in failure set: {sorted(unknown)[:5]}")
-    degraded = snapshot.graph.copy()
-    degraded.remove_nodes_from(failed)
-    return SnapshotGraph(
-        constellation=snapshot.constellation,
-        t_s=snapshot.t_s,
-        graph=degraded,
-        positions=snapshot.positions,
-        ground_nodes=dict(snapshot.ground_nodes),
-    )
+    degraded = snapshot.copy()
+    degraded.failed = snapshot.failed | failed
+    if degraded._graph is not None:
+        degraded._graph.remove_nodes_from(failed)
+    return degraded
 
 
 def random_failure_set(
@@ -91,28 +89,20 @@ def placement_under_failures(
             mean_hops=float("inf"),
         )
 
-    sat_graph = degraded.graph.subgraph(survivors)
-    augmented = nx.Graph(sat_graph.edges)
-    augmented.add_nodes_from(survivors)
-    augmented.add_node("_source")
-    for holder in surviving_holders:
-        augmented.add_edge("_source", holder)
-    lengths = nx.single_source_shortest_path_length(augmented, "_source")
-
-    hop_values = []
-    unreachable = 0
-    for node in survivors:
-        distance = lengths.get(node)
-        if distance is None:
-            unreachable += 1
-        else:
-            hop_values.append(distance - 1)
+    # Multi-source BFS from the surviving replicas over the masked core.
+    hops = fastcore.nearest_hops(
+        degraded.core, surviving_holders, degraded.active_mask
+    )
+    survivor_hops = hops[np.asarray(survivors, dtype=np.int64)]
+    reachable = survivor_hops != fastcore.HOP_UNREACHABLE
+    hop_values = survivor_hops[reachable]
+    unreachable = int((~reachable).sum())
 
     total = len(survivors)
     return ResilienceReport(
         failed_fraction=len(failed) / len(snapshot.satellite_nodes()),
         surviving_replicas=len(surviving_holders),
         reachable_fraction=(total - unreachable) / total,
-        worst_case_hops=(-1 if unreachable else max(hop_values)),
-        mean_hops=float(np.mean(hop_values)) if hop_values else float("inf"),
+        worst_case_hops=(-1 if unreachable else int(hop_values.max())),
+        mean_hops=float(np.mean(hop_values)) if hop_values.size else float("inf"),
     )

@@ -22,9 +22,8 @@ from repro.constants import CDN_SERVER_THINK_TIME_MS, MIN_ELEVATION_USER_DEG
 from repro.errors import ConfigurationError
 from repro.geo.coordinates import GeoPoint
 from repro.orbits.walker import Constellation
-from repro.spacecdn.lookup import LookupSource
+from repro.spacecdn.lookup import LookupSource, nearest_cached_satellite
 from repro.topology.graph import SnapshotGraph, access_latency_ms, build_snapshot
-from repro.topology.routing import hop_distances, satellite_latencies
 from repro.workloads.requests import Request
 
 
@@ -278,18 +277,9 @@ class SpaceCdnSystem:
     def _nearest_holder(
         self, snapshot: SnapshotGraph, access: int, holders: frozenset[int]
     ) -> tuple[int, int, float] | None:
-        if not holders:
-            return None
-        hops = hop_distances(snapshot, access)
-        in_range = {s: h for s, h in hops.items() if s in holders and 0 < h <= self.max_hops}
-        if not in_range:
-            return None
-        latencies = satellite_latencies(snapshot, access)
-        best = min(in_range, key=lambda s: latencies.get(s, float("inf")))
-        latency = latencies.get(best)
-        if latency is None:
-            return None
-        return best, in_range[best], latency
+        return nearest_cached_satellite(
+            snapshot, access, holders, self.max_hops, min_hops=1
+        )
 
     def _record(
         self,

@@ -6,6 +6,16 @@ from repro.topology.isl import (
     links_for_satellite,
     nearest_cross_plane_offset,
 )
+from repro.topology.fastcore import (
+    CsrSnapshot,
+    CsrTopology,
+    build_core,
+    csr_topology,
+    hop_distances_batch,
+    hop_ladder_batch,
+    latency_batch,
+    nearest_hops,
+)
 from repro.topology.graph import (
     SnapshotGraph,
     build_snapshot,
@@ -32,6 +42,14 @@ __all__ = [
     "plus_grid_links",
     "links_for_satellite",
     "nearest_cross_plane_offset",
+    "CsrSnapshot",
+    "CsrTopology",
+    "build_core",
+    "csr_topology",
+    "hop_distances_batch",
+    "hop_ladder_batch",
+    "latency_batch",
+    "nearest_hops",
     "SnapshotGraph",
     "build_snapshot",
     "isl_latency_ms",

@@ -6,6 +6,12 @@ propagation over the current link length, plus optical-terminal switching),
 optionally joined by ground nodes (user terminals, gateways) attached to
 every satellite they can currently see.
 
+The satellite topology lives in flat CSR arrays (see
+:mod:`repro.topology.fastcore`) computed in one vectorised gather per
+snapshot; the ``networkx`` view is materialised lazily, only for callers
+that need a graph object (path reconstruction, ground-node routing). The
+vectorised kernels never pay for it.
+
 Node naming: satellites are integer indices; ground nodes are strings.
 """
 
@@ -27,7 +33,7 @@ from repro.constants import (
 from repro.errors import ConfigurationError, VisibilityError
 from repro.geo.coordinates import GeoPoint
 from repro.orbits.walker import Constellation
-from repro.topology.isl import plus_grid_links
+from repro.topology.fastcore import CsrSnapshot, csr_topology, link_weights
 
 
 def isl_latency_ms(distance_km: float) -> float:
@@ -60,20 +66,84 @@ def access_latency_ms(slant_range_km: float) -> float:
 class SnapshotGraph:
     """The constellation graph at a single instant.
 
-    ``graph`` edge weights are one-way latencies in milliseconds under the
-    key ``"latency_ms"``; satellite positions at the snapshot instant are
-    cached for distance queries.
+    ``core`` holds the CSR satellite topology with this instant's link
+    weights; ``graph`` is a lazily built ``networkx`` view whose edge
+    weights are one-way latencies in milliseconds under the key
+    ``"latency_ms"``. ``failed`` marks satellites removed from service
+    (their ISLs carry nothing and they serve nothing).
     """
 
     constellation: Constellation
     t_s: float
-    graph: nx.Graph
     positions: np.ndarray
+    core: CsrSnapshot
     ground_nodes: dict[str, GeoPoint] = field(default_factory=dict)
+    failed: frozenset[int] = frozenset()
+    _graph: nx.Graph | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The ``networkx`` view, materialised on first access."""
+        if self._graph is None:
+            self._graph = self._materialise()
+        return self._graph
+
+    def _materialise(self) -> nx.Graph:
+        topo = self.core.topology
+        graph = nx.Graph()
+        graph.add_nodes_from(
+            i for i in range(topo.num_nodes) if i not in self.failed
+        )
+        distances = self.core.link_distance_km
+        latencies = self.core.link_latency_ms
+        for i, (a, b) in enumerate(zip(topo.link_a, topo.link_b)):
+            a, b = int(a), int(b)
+            if a in self.failed or b in self.failed:
+                continue
+            graph.add_edge(
+                a,
+                b,
+                latency_ms=float(latencies[i]),
+                kind=topo.link_kind[i],
+                distance_km=float(distances[i]),
+            )
+        return graph
+
+    @property
+    def active_mask(self) -> np.ndarray | None:
+        """Boolean per-satellite liveness mask (``None`` when nothing failed)."""
+        if not self.failed:
+            return None
+        mask = np.ones(self.core.num_nodes, dtype=bool)
+        mask[list(self.failed)] = False
+        return mask
 
     def satellite_nodes(self) -> list[int]:
-        """All satellite node indices."""
-        return [n for n in self.graph.nodes if isinstance(n, int)]
+        """All live satellite node indices."""
+        if self._graph is not None:
+            return [n for n in self._graph.nodes if isinstance(n, int)]
+        return [i for i in range(self.core.num_nodes) if i not in self.failed]
+
+    def has_satellite(self, index: int) -> bool:
+        """Whether ``index`` is a live satellite of this snapshot."""
+        return 0 <= index < self.core.num_nodes and index not in self.failed
+
+    def copy(self) -> "SnapshotGraph":
+        """An independent snapshot sharing the immutable CSR arrays.
+
+        Mutations (ground-node attachment, manual graph edits) on the copy
+        never touch the original — this is what makes cached snapshots safe
+        to hand out.
+        """
+        return SnapshotGraph(
+            constellation=self.constellation,
+            t_s=self.t_s,
+            positions=self.positions,
+            core=self.core,
+            ground_nodes=dict(self.ground_nodes),
+            failed=self.failed,
+            _graph=None if self._graph is None else self._graph.copy(),
+        )
 
     def attach_ground_node(
         self,
@@ -94,6 +164,7 @@ class SnapshotGraph:
         visible = visible_satellites(
             self.constellation, point, self.t_s, min_elevation_deg
         )
+        visible = [sat for sat in visible if sat.index not in self.failed]
         if not visible:
             raise VisibilityError(f"no satellite visible from ground node {name!r}")
         if max_links is not None:
@@ -118,25 +189,17 @@ class SnapshotGraph:
 
 
 def build_snapshot(constellation: Constellation, t_s: float) -> SnapshotGraph:
-    """Build the ISL graph of the constellation at time ``t_s``.
+    """Build the ISL snapshot of the constellation at time ``t_s``.
 
-    Nodes are satellite indices; every +Grid link is weighted with its
-    current one-way latency.
+    All link distances come from one vectorised gather over the endpoint
+    positions; the ``networkx`` view is deferred until something asks for it.
     """
     positions = constellation.positions_ecef(t_s)
-    links = plus_grid_links(constellation.config)
-
-    graph = nx.Graph()
-    graph.add_nodes_from(range(len(constellation)))
-    for link in links:
-        distance = float(np.linalg.norm(positions[link.a] - positions[link.b]))
-        graph.add_edge(
-            link.a,
-            link.b,
-            latency_ms=isl_latency_ms(distance),
-            kind=link.kind,
-            distance_km=distance,
-        )
+    topology = csr_topology(constellation.config)
+    distances, latencies = link_weights(topology, positions)
+    core = CsrSnapshot(
+        topology=topology, link_distance_km=distances, link_latency_ms=latencies
+    )
     return SnapshotGraph(
-        constellation=constellation, t_s=t_s, graph=graph, positions=positions
+        constellation=constellation, t_s=t_s, positions=positions, core=core
     )

@@ -8,6 +8,14 @@ Two complementary views of "distance" coexist in the experiments:
 
 ``latency_by_hop_count`` joins the two: the cheapest latency at which content
 placed exactly n hops from the access satellite can be reached.
+
+The satellite-only queries run on the vectorised CSR core
+(:mod:`repro.topology.fastcore`); the original ``networkx`` traversals are
+kept as the reference implementation (``*_reference``) behind the same
+dict-returning API — property tests pin the two against each other, and the
+benchmarks report the speedup. :func:`shortest_path` stays on ``networkx``:
+it reconstructs node paths and spans ground nodes, neither of which the
+satellite kernels model.
 """
 
 from __future__ import annotations
@@ -16,8 +24,10 @@ from dataclasses import dataclass
 from typing import Hashable
 
 import networkx as nx
+import numpy as np
 
 from repro.errors import RoutingError
+from repro.topology import fastcore
 from repro.topology.graph import SnapshotGraph
 
 
@@ -45,31 +55,36 @@ def shortest_path(snapshot: SnapshotGraph, src: Hashable, dst: Hashable) -> Rout
     return RouteResult(path=tuple(path), latency_ms=float(latency))
 
 
+def _require_satellite(snapshot: SnapshotGraph, source: int) -> int:
+    source = int(source)
+    if not snapshot.has_satellite(source):
+        raise RoutingError(f"unknown source satellite {source}")
+    return source
+
+
 def hop_distances(snapshot: SnapshotGraph, source: int) -> dict[int, int]:
     """BFS hop count from ``source`` to every satellite, over ISL edges only.
 
     Ground nodes and access links are excluded: a "hop" in the paper's
     Fig. 7 sense is an ISL traversal.
     """
-    if source not in snapshot.graph:
-        raise RoutingError(f"unknown source satellite {source}")
-    sat_graph = snapshot.graph.subgraph(snapshot.satellite_nodes())
+    source = _require_satellite(snapshot, source)
+    hops, _ = fastcore.single_source(snapshot.core, source, snapshot.active_mask)
     return {
-        int(node): int(d)
-        for node, d in nx.single_source_shortest_path_length(sat_graph, source).items()
+        int(node): int(h)
+        for node, h in enumerate(hops)
+        if h != fastcore.HOP_UNREACHABLE
     }
 
 
 def satellite_latencies(snapshot: SnapshotGraph, source: int) -> dict[int, float]:
     """Dijkstra one-way latency from ``source`` to every satellite (ISLs only)."""
-    if source not in snapshot.graph:
-        raise RoutingError(f"unknown source satellite {source}")
-    sat_graph = snapshot.graph.subgraph(snapshot.satellite_nodes())
+    source = _require_satellite(snapshot, source)
+    _, latencies = fastcore.single_source(snapshot.core, source, snapshot.active_mask)
     return {
-        int(node): float(d)
-        for node, d in nx.single_source_dijkstra_path_length(
-            sat_graph, source, weight="latency_ms"
-        ).items()
+        int(node): float(latency)
+        for node, latency in enumerate(latencies)
+        if np.isfinite(latency)
     }
 
 
@@ -83,19 +98,11 @@ def latency_by_hop_count(
     """
     if max_hops < 0:
         raise RoutingError(f"max_hops must be non-negative, got {max_hops}")
-    hops = hop_distances(snapshot, source)
-    latencies = satellite_latencies(snapshot, source)
-    result: dict[int, float] = {}
-    for node, h in hops.items():
-        if h > max_hops:
-            continue
-        latency = latencies.get(node)
-        if latency is None:
-            continue
-        best = result.get(h)
-        if best is None or latency < best:
-            result[h] = latency
-    return result
+    source = _require_satellite(snapshot, source)
+    ladder = fastcore.hop_ladder_batch(
+        snapshot.core, [source], max_hops, snapshot.active_mask
+    )[0]
+    return {h: float(v) for h, v in enumerate(ladder) if not np.isnan(v)}
 
 
 def min_latency_at_hops(
@@ -108,3 +115,57 @@ def min_latency_at_hops(
             f"no satellite exactly {hop_count} hops from {source} in this snapshot"
         )
     return table[hop_count]
+
+
+# -- networkx reference implementations --------------------------------------
+#
+# The original per-query traversals, kept verbatim as the ground truth the
+# CSR kernels are verified against (tests/test_topology_fastcore.py) and
+# benchmarked against (benchmarks/bench_core_perf.py).
+
+
+def hop_distances_reference(snapshot: SnapshotGraph, source: int) -> dict[int, int]:
+    """``networkx`` BFS reference for :func:`hop_distances`."""
+    if source not in snapshot.graph:
+        raise RoutingError(f"unknown source satellite {source}")
+    sat_graph = snapshot.graph.subgraph(snapshot.satellite_nodes())
+    return {
+        int(node): int(d)
+        for node, d in nx.single_source_shortest_path_length(sat_graph, source).items()
+    }
+
+
+def satellite_latencies_reference(
+    snapshot: SnapshotGraph, source: int
+) -> dict[int, float]:
+    """``networkx`` Dijkstra reference for :func:`satellite_latencies`."""
+    if source not in snapshot.graph:
+        raise RoutingError(f"unknown source satellite {source}")
+    sat_graph = snapshot.graph.subgraph(snapshot.satellite_nodes())
+    return {
+        int(node): float(d)
+        for node, d in nx.single_source_dijkstra_path_length(
+            sat_graph, source, weight="latency_ms"
+        ).items()
+    }
+
+
+def latency_by_hop_count_reference(
+    snapshot: SnapshotGraph, source: int, max_hops: int
+) -> dict[int, float]:
+    """``networkx`` reference for :func:`latency_by_hop_count`."""
+    if max_hops < 0:
+        raise RoutingError(f"max_hops must be non-negative, got {max_hops}")
+    hops = hop_distances_reference(snapshot, source)
+    latencies = satellite_latencies_reference(snapshot, source)
+    result: dict[int, float] = {}
+    for node, h in hops.items():
+        if h > max_hops:
+            continue
+        latency = latencies.get(node)
+        if latency is None:
+            continue
+        best = result.get(h)
+        if best is None or latency < best:
+            result[h] = latency
+    return result

@@ -13,8 +13,22 @@ class TestShell1Caches:
         a = common.shell1_snapshot(0.0)
         b = common.shell1_snapshot(0.0)
         c = common.shell1_snapshot(60.0)
-        assert a is b
-        assert c is not a
+        # The expensive arrays are cached and shared per epoch ...
+        assert a.core is b.core
+        assert a.positions is b.positions
+        assert c.core is not a.core
+
+    def test_snapshot_copies_are_isolated(self):
+        # ... but each call returns a defensive copy: mutations (ground
+        # attachment) never leak into later experiments via the cache.
+        from repro.geo.coordinates import GeoPoint
+
+        a = common.shell1_snapshot(0.0)
+        a.attach_ground_node("ut:cache-hazard", GeoPoint(10.0, 10.0))
+        b = common.shell1_snapshot(0.0)
+        assert "ut:cache-hazard" not in b.graph
+        # Attaching the same name to the fresh copy must not raise.
+        b.attach_ground_node("ut:cache-hazard", GeoPoint(10.0, 10.0))
 
     def test_snapshot_matches_constellation(self):
         snapshot = common.shell1_snapshot(0.0)
