@@ -14,9 +14,17 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.errors import ReproError
+from repro.errors import FaultConfigError, ReproError, UnavailableError
+
+EXIT_ERROR = 2
+"""Generic :class:`~repro.errors.ReproError` exit code."""
+EXIT_UNAVAILABLE = 3
+"""Content was unreachable under the active fault state."""
+EXIT_FAULT_CONFIG = 4
+"""A fault schedule / retry policy was configured inconsistently."""
 
 _EXPERIMENTS: dict[str, str] = {
+    "chaos": "Chaos sweep: availability and latency under injected failures",
     "table1": "Table 1: distance to best CDN / minRTT per country",
     "figure2": "Fig. 2: per-country median RTT delta (Starlink - terrestrial)",
     "figure3": "Fig. 3: Maputo case study",
@@ -30,6 +38,7 @@ _EXPERIMENTS: dict[str, str] = {
 
 def _run_experiment(name: str, args: argparse.Namespace) -> str:
     from repro.experiments import (  # local import keeps --help fast
+        chaos,
         figure2,
         figure3,
         figure4,
@@ -41,6 +50,17 @@ def _run_experiment(name: str, args: argparse.Namespace) -> str:
     )
 
     modules = {
+        "chaos": lambda: chaos.format_result(
+            chaos.run(
+                seed=args.seed,
+                num_requests=args.requests,
+                fractions=tuple(
+                    float(f) for f in args.fractions.split(",") if f
+                ),
+                shell=args.shell,
+                max_attempts=args.max_attempts,
+            )
+        ),
         "table1": lambda: table1.format_result(
             table1.run(seed=args.seed, tests_per_city=args.tests_per_city)
         ),
@@ -115,6 +135,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--rounds", type=int, default=3)
     run_cmd.add_argument("--users", type=int, default=20)
     run_cmd.add_argument("--epochs", type=int, default=5)
+    run_cmd.add_argument("--requests", type=int, default=150)
+    run_cmd.add_argument(
+        "--fractions",
+        default="0.0,0.1,0.3",
+        help="comma-separated failure fractions for the chaos sweep",
+    )
+    run_cmd.add_argument(
+        "--shell",
+        choices=("shell1", "small"),
+        default="shell1",
+        help="constellation for the chaos sweep (small = 6x8 smoke shell)",
+    )
+    run_cmd.add_argument("--max-attempts", type=int, default=3)
     run_cmd.set_defaults(func=_cmd_run)
 
     aim_cmd = sub.add_parser("aim", help="generate and export the synthetic AIM dataset")
@@ -133,9 +166,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except UnavailableError as exc:
+        print(f"error: content unavailable: {exc}", file=sys.stderr)
+        return EXIT_UNAVAILABLE
+    except FaultConfigError as exc:
+        print(f"error: bad fault configuration: {exc}", file=sys.stderr)
+        return EXIT_FAULT_CONFIG
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

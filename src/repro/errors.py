@@ -35,6 +35,21 @@ class ContentNotFoundError(ReproError):
     """Requested content is not present in any reachable cache or origin."""
 
 
+class UnavailableError(ContentNotFoundError):
+    """No serving path exists at all under the active fault state.
+
+    Raised when every rung of the fallback ladder is down: no live access
+    satellite is visible, the retry budget was exhausted on failed/timed-out
+    replicas, and the bent-pipe ground segment is also unreachable. Subclass
+    of :class:`ContentNotFoundError` so degraded-mode callers can treat
+    "content unreachable" uniformly while the CLI distinguishes the two.
+    """
+
+
+class FaultConfigError(ConfigurationError):
+    """A fault schedule or fault process was configured inconsistently."""
+
+
 class DatasetError(ReproError):
     """A lookup into the embedded gazetteer failed."""
 

@@ -7,6 +7,7 @@ line.
 """
 
 from repro.experiments import (  # noqa: F401
+    chaos,
     common,
     table1,
     figure2,
@@ -19,6 +20,7 @@ from repro.experiments import (  # noqa: F401
 )
 
 __all__ = [
+    "chaos",
     "common",
     "table1",
     "figure2",

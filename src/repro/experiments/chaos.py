@@ -1,0 +1,259 @@
+"""Chaos sweep: SpaceCDN availability and latency under injected failures.
+
+The paper's Fig. 7/8 pipelines assume a healthy fleet. This experiment
+reruns the request-level system under a sweep of satellite-outage
+fractions (via :mod:`repro.faults`) and reports, per fraction:
+availability, p50/p99 RTT and their inflation over the healthy baseline,
+space-tier hit-ratio degradation, and the Fig. 8 duty-cycle median when
+the failed satellites also drop out of the cache rotation.
+
+Every sweep point — including 0.0 — runs the same degraded serving path
+so the comparison isolates the *faults*, not the code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.cdn.content import Catalog, build_catalog
+from repro.constants import CDN_SERVER_THINK_TIME_MS
+from repro.errors import ConfigurationError, UnavailableError, VisibilityError
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    shell1_constellation,
+    small_constellation,
+)
+from repro.faults import FaultSchedule, OutageWindow, RetryPolicy
+from repro.geo.datasets import all_cities
+from repro.orbits.walker import Constellation
+from repro.simulation.sampler import seeded_rng, user_sample_points
+from repro.spacecdn.bubbles import RegionalPopularity
+from repro.spacecdn.dutycycle import DutyCycleLatencyModel, DutyCycleScheduler
+from repro.spacecdn.placement import KPerPlanePlacement
+from repro.spacecdn.resilience import random_failure_set
+from repro.spacecdn.system import SpaceCdnSystem
+from repro.topology.graph import build_snapshot
+from repro.workloads.regional import RegionalRequestMixer
+from repro.workloads.requests import RequestGenerator
+
+FAILURE_FRACTIONS: tuple[float, ...] = (0.0, 0.1, 0.3)
+
+CATALOG_REGIONS: tuple[str, ...] = ("africa", "europe")
+
+_STREAM_DURATION_S = 300.0
+"""Request streams span five snapshot slots so faults interact with the
+rotating topology, not a single frozen graph."""
+
+
+@dataclass(frozen=True)
+class ChaosPoint:
+    """The system's health at one failure fraction."""
+
+    fraction: float
+    requests: int
+    availability: float
+    space_hit_ratio: float
+    p50_rtt_ms: float
+    p99_rtt_ms: float
+    p50_inflation: float
+    """p50 RTT over the healthy (fraction 0.0) baseline's p50."""
+    p99_inflation: float
+    timeouts: int
+    retries: int
+    unavailable: int
+    dutycycle_median_ms: float
+    """Fig. 8 median RTT when the failed satellites also leave the
+    duty-cycle cache rotation (NaN when every sampled user lost coverage)."""
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """One full failure-fraction sweep."""
+
+    shell: str
+    points: tuple[ChaosPoint, ...]
+
+    @property
+    def baseline(self) -> ChaosPoint:
+        """The healthy sweep point (smallest fraction, normally 0.0)."""
+        return min(self.points, key=lambda p: p.fraction)
+
+
+def _constellation_for(shell: str) -> Constellation:
+    if shell == "shell1":
+        return shell1_constellation()
+    if shell == "small":
+        return small_constellation()
+    raise ConfigurationError(f"unknown shell {shell!r}; choose 'shell1' or 'small'")
+
+
+def _build_requests(catalog: Catalog, num_requests: int, seed: int):
+    """A time-ordered Poisson stream over the catalog's home regions."""
+    cities = tuple(
+        c for c in all_cities() if c.country.region in CATALOG_REGIONS
+    )
+    if not cities:
+        raise ConfigurationError("no cities in the catalog regions")
+    mixer = RegionalRequestMixer(
+        popularity=RegionalPopularity(catalog=catalog, seed=seed),
+        rng=seeded_rng(seed, 0xC4A05),
+    )
+    generator = RequestGenerator(
+        cities=cities,
+        mixer=mixer,
+        requests_per_second_total=num_requests / _STREAM_DURATION_S,
+        rng=seeded_rng(seed, 0xC4A06),
+    )
+    return generator.generate_list(_STREAM_DURATION_S)
+
+
+def _quantiles(samples: list[float]) -> tuple[float, float]:
+    if not samples:
+        return float("nan"), float("nan")
+    arr = np.asarray(samples)
+    return float(np.quantile(arr, 0.5)), float(np.quantile(arr, 0.99))
+
+
+def _dutycycle_median(
+    constellation: Constellation,
+    failed: frozenset[int],
+    users,
+    cache_fraction: float,
+    seed: int,
+) -> float:
+    """Fig. 8's duty-cycle pipeline rerun with ``failed`` satellites gone.
+
+    Users whose sky went dark under the outage are skipped (they are an
+    availability loss, not a latency sample); NaN when nobody is covered.
+    """
+    model = DutyCycleLatencyModel(
+        snapshot=build_snapshot(constellation, 0.0),
+        scheduler=DutyCycleScheduler(
+            total_satellites=len(constellation),
+            cache_fraction=cache_fraction,
+            seed=seed,
+        ),
+        failed=failed,
+    )
+    rtts = []
+    for user in users:
+        try:
+            rtts.append(2.0 * model.one_way_ms(user) + CDN_SERVER_THINK_TIME_MS)
+        except (UnavailableError, VisibilityError):
+            # Small shells leave gaps even when healthy; a user with no
+            # sky coverage is not a latency sample either way.
+            continue
+    return float(np.median(rtts)) if rtts else float("nan")
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    num_requests: int = 150,
+    fractions: tuple[float, ...] = FAILURE_FRACTIONS,
+    shell: str = "shell1",
+    max_attempts: int = 3,
+    duty_cache_fraction: float = 0.5,
+    duty_users: int = 12,
+) -> ChaosResult:
+    """Sweep satellite-outage fractions over the request-level system."""
+    if num_requests < 1:
+        raise ConfigurationError("num_requests must be >= 1")
+    if not fractions:
+        raise ConfigurationError("need at least one failure fraction")
+    constellation = _constellation_for(shell)
+    catalog = build_catalog(
+        seeded_rng(seed, 0xC4A07),
+        120,
+        regions=CATALOG_REGIONS,
+        kind_weights={"web": 1.0},
+    )
+    requests = _build_requests(catalog, num_requests, seed)
+    placement = KPerPlanePlacement(copies_per_plane=1)
+    popular = RegionalPopularity(catalog=catalog, seed=seed)
+    preload = {
+        object_id: placement.place_object(object_id, constellation.config)
+        for region in popular.regions()
+        for object_id in popular.top_objects(region, 10)
+    }
+    duty_user_points = user_sample_points(seeded_rng(seed, 0xC4A08), duty_users)
+
+    points: list[ChaosPoint] = []
+    baseline_p50 = baseline_p99 = float("nan")
+    for fraction in sorted(fractions):
+        failed = random_failure_set(
+            len(constellation), fraction, seeded_rng(seed, 0xFA11)
+        )
+        system = SpaceCdnSystem(
+            constellation=constellation,
+            catalog=catalog,
+            cache_bytes_per_satellite=10**9,
+            fault_schedule=FaultSchedule().add(OutageWindow(satellites=failed)),
+            retry_policy=RetryPolicy(max_attempts=max_attempts),
+        )
+        system.preload(preload)
+        system.run(requests, continue_on_unavailable=True)
+        stats = system.stats
+        p50, p99 = _quantiles(stats.rtt_samples_ms)
+        if np.isnan(baseline_p50):
+            baseline_p50, baseline_p99 = p50, p99
+        points.append(
+            ChaosPoint(
+                fraction=fraction,
+                requests=stats.requests,
+                availability=stats.availability,
+                space_hit_ratio=stats.space_hit_ratio,
+                p50_rtt_ms=p50,
+                p99_rtt_ms=p99,
+                p50_inflation=p50 / baseline_p50 if baseline_p50 else float("nan"),
+                p99_inflation=p99 / baseline_p99 if baseline_p99 else float("nan"),
+                timeouts=stats.timeouts,
+                retries=stats.retries,
+                unavailable=stats.unavailable,
+                dutycycle_median_ms=_dutycycle_median(
+                    constellation, failed, duty_user_points,
+                    duty_cache_fraction, seed,
+                ),
+            )
+        )
+    return ChaosResult(shell=shell, points=tuple(points))
+
+
+def format_result(result: ChaosResult) -> str:
+    rows = []
+    for p in result.points:
+        rows.append(
+            (
+                f"{p.fraction:.0%}",
+                f"{p.availability:.3f}",
+                p.p50_rtt_ms,
+                p.p99_rtt_ms,
+                f"{p.p50_inflation:.2f}x",
+                f"{p.p99_inflation:.2f}x",
+                f"{p.space_hit_ratio:.2f}",
+                p.dutycycle_median_ms,
+            )
+        )
+    table = format_table(
+        (
+            "failed sats",
+            "availability",
+            "p50 RTT (ms)",
+            "p99",
+            "p50 infl",
+            "p99 infl",
+            "space hits",
+            "duty p50 (ms)",
+        ),
+        rows,
+    )
+    worst = max(result.points, key=lambda p: p.fraction)
+    return table + (
+        f"\nshell: {result.shell}; {worst.requests} requests per sweep point"
+        f"\nat {worst.fraction:.0%} failed: availability {worst.availability:.3f}, "
+        f"p99 inflation {worst.p99_inflation:.2f}x, "
+        f"{worst.retries} retries / {worst.timeouts} timeouts / "
+        f"{worst.unavailable} unavailable"
+    )

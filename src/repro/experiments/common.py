@@ -10,7 +10,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.measurements.aim import AimDataset, AimGenerator
-from repro.orbits.elements import starlink_shell1
+from repro.orbits.elements import ShellConfig, starlink_shell1
 from repro.orbits.walker import Constellation, build_walker_delta
 from repro.simulation.sampler import EpochSampler
 from repro.topology.graph import SnapshotGraph, build_snapshot
@@ -23,6 +23,25 @@ DEFAULT_TESTS_PER_CITY = 30
 def shell1_constellation() -> Constellation:
     """The Starlink Shell 1 constellation (72 x 22 at 550 km)."""
     return build_walker_delta(starlink_shell1())
+
+
+@lru_cache(maxsize=2)
+def small_constellation() -> Constellation:
+    """A 6 x 8 shell for smoke-mode experiment runs (CI, examples).
+
+    Same altitude/inclination as Shell 1 so the geometry is representative,
+    but 48 satellites instead of 1584 keeps chaos sweeps near-instant.
+    """
+    return build_walker_delta(
+        ShellConfig(
+            altitude_km=550.0,
+            inclination_deg=53.0,
+            num_planes=6,
+            sats_per_plane=8,
+            phase_offset=3,
+            name="smoke-shell",
+        )
+    )
 
 
 @lru_cache(maxsize=16)

@@ -1,0 +1,38 @@
+"""Fault injection: seeded fault processes, schedules, and retry policy.
+
+The paper's §5 operational picture has satellites constantly leaving the
+cache fleet (thermal duty-cycling, failures, deorbits) and links flapping;
+this package turns that into a first-class, deterministic simulation input.
+Compose processes into a :class:`FaultSchedule`, hand it to
+:class:`~repro.spacecdn.system.SpaceCdnSystem`, and every snapshot is served
+through the compiled degraded masks — injection costs a mask swap over the
+CSR core, never a graph rebuild.
+"""
+
+from repro.faults.processes import (
+    GroundStationOutage,
+    IslCut,
+    IslDegradation,
+    KillList,
+    OutageWindow,
+    RandomIslCuts,
+    SatelliteOutageProcess,
+    TransientAttemptLoss,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.schedule import FaultSchedule, FaultView, apply_fault_view
+
+__all__ = [
+    "FaultSchedule",
+    "FaultView",
+    "apply_fault_view",
+    "RetryPolicy",
+    "SatelliteOutageProcess",
+    "KillList",
+    "OutageWindow",
+    "GroundStationOutage",
+    "IslCut",
+    "IslDegradation",
+    "RandomIslCuts",
+    "TransientAttemptLoss",
+]

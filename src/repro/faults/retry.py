@@ -1,0 +1,65 @@
+"""Retry policy for the degraded serving path.
+
+All quantities are *simulated* milliseconds: the backoff a real client would
+sleep is added to the served request's RTT rather than slept, so fault
+experiments stay instantaneous to run while reporting faithful user-visible
+latencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import FaultConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded attempts with per-attempt RTT budget and exponential backoff.
+
+    ``attempt_budget_ms`` is the per-attempt RTT the client tolerates before
+    declaring a timeout and descending the fallback ladder; ``None`` means
+    unlimited (the default — a system with the default policy and no fault
+    schedule behaves exactly like the pre-fault serving path).
+    ``backoff_ms(k)`` is the simulated wait before retrying after failed
+    attempt ``k``, ``base * multiplier**(k-1)`` capped at ``backoff_cap_ms``.
+    """
+
+    max_attempts: int = 3
+    attempt_budget_ms: float | None = None
+    backoff_base_ms: float = 5.0
+    backoff_multiplier: float = 2.0
+    backoff_cap_ms: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise FaultConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.attempt_budget_ms is not None and not (
+            math.isfinite(self.attempt_budget_ms) and self.attempt_budget_ms > 0
+        ):
+            raise FaultConfigError(
+                f"attempt budget must be positive and finite, got "
+                f"{self.attempt_budget_ms}"
+            )
+        if self.backoff_base_ms < 0 or self.backoff_cap_ms < 0:
+            raise FaultConfigError("backoff base and cap must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise FaultConfigError(
+                f"backoff multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Simulated backoff after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise FaultConfigError(f"attempt must be >= 1, got {attempt}")
+        return min(
+            self.backoff_cap_ms,
+            self.backoff_base_ms * self.backoff_multiplier ** (attempt - 1),
+        )
+
+    def within_budget(self, rtt_ms: float) -> bool:
+        """Whether one attempt's RTT fits the per-attempt budget."""
+        return self.attempt_budget_ms is None or rtt_ms <= self.attempt_budget_ms

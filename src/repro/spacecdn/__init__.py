@@ -12,7 +12,12 @@ from repro.spacecdn.placement import (
     spaced_slots,
     replica_hop_profile,
 )
-from repro.spacecdn.lookup import SpaceCdnLookup, LookupResult, LookupSource
+from repro.spacecdn.lookup import (
+    SpaceCdnLookup,
+    LookupResult,
+    LookupSource,
+    ranked_cached_satellites,
+)
 from repro.spacecdn.dutycycle import DutyCycleScheduler, DutyCycleLatencyModel
 from repro.spacecdn.striping import (
     StripeAssignment,
@@ -33,6 +38,7 @@ from repro.spacecdn.streaming import AbrPlayer, SessionReport, constant_path
 from repro.spacecdn.demand import DiurnalDemand, DemandAwareDutyCycle
 from repro.spacecdn.resilience import (
     fail_satellites,
+    degrade_snapshot,
     random_failure_set,
     placement_under_failures,
     ResilienceReport,
@@ -52,6 +58,7 @@ __all__ = [
     "SpaceCdnLookup",
     "LookupResult",
     "LookupSource",
+    "ranked_cached_satellites",
     "DutyCycleScheduler",
     "DutyCycleLatencyModel",
     "StripeAssignment",
@@ -71,6 +78,7 @@ __all__ = [
     "PopularityPredictor",
     "LearnedPrefetcher",
     "fail_satellites",
+    "degrade_snapshot",
     "random_failure_set",
     "placement_under_failures",
     "ResilienceReport",

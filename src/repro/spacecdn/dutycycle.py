@@ -19,11 +19,11 @@ from repro.constants import (
     STARLINK_PROCESSING_DELAY_MS,
     STARLINK_SCHEDULING_DELAY_MS,
 )
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnavailableError
 from repro.geo.coordinates import GeoPoint
 from repro.orbits.visibility import nearest_visible_satellites
 from repro.spacecdn.lookup import LookupResult, SpaceCdnLookup, nearest_cached_satellite
-from repro.topology.graph import SnapshotGraph
+from repro.topology.graph import SnapshotGraph, access_latency_ms
 
 
 @dataclass
@@ -70,6 +70,16 @@ class DutyCycleScheduler:
         """The cache set active at time ``t_s``."""
         return self.active_caches(self.slot_index(t_s))
 
+    def exited_caches(self, prev_slot: int, slot: int) -> frozenset[int]:
+        """Satellites that stopped caching between two slots.
+
+        These are the duty-cycle *exits*: a satellite powering its cache
+        down to meet the thermal budget loses its contents, which is what
+        the fault layer's cache-wipe semantics model
+        (:class:`repro.faults.FaultSchedule.wipe_caches_on_outage`).
+        """
+        return self.active_caches(prev_slot) - self.active_caches(slot)
+
 
 @dataclass
 class DutyCycleLatencyModel:
@@ -77,12 +87,16 @@ class DutyCycleLatencyModel:
 
     Requests always reach content in space here (Fig. 8 assumes the fleet as
     a whole holds the object; what varies is how far the nearest *active*
-    cache is), so ``max_hops`` is unbounded by default.
+    cache is), so ``max_hops`` is unbounded by default. ``failed`` layers a
+    fault set on top of the duty cycle: failed satellites neither cache nor
+    relay nor accept terminals, so the chaos experiments can sweep outage
+    fractions over the Fig. 8 pipeline without touching it.
     """
 
     snapshot: SnapshotGraph
     scheduler: DutyCycleScheduler
     max_hops: int = 64
+    failed: frozenset[int] = frozenset()
     _lookup: SpaceCdnLookup = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -90,7 +104,15 @@ class DutyCycleLatencyModel:
             raise ConfigurationError(
                 "scheduler fleet size does not match the snapshot constellation"
             )
+        if self.failed:
+            from repro.spacecdn.resilience import fail_satellites
+
+            self.snapshot = fail_satellites(self.snapshot, self.failed)
         self._lookup = SpaceCdnLookup(snapshot=self.snapshot, max_hops=self.max_hops)
+
+    def _active_caches(self) -> frozenset[int]:
+        """The duty-cycle cache set minus satellites lost to faults."""
+        return self.scheduler.active_caches_at(self.snapshot.t_s) - self.failed
 
     def lookup(
         self,
@@ -98,8 +120,30 @@ class DutyCycleLatencyModel:
         min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
     ) -> LookupResult:
         """Resolve a request at the snapshot instant under the active cache set."""
-        caches = self.scheduler.active_caches_at(self.snapshot.t_s)
-        return self._lookup.lookup_from_point(user, caches, min_elevation_deg)
+        caches = self._active_caches()
+        if not self.failed:
+            return self._lookup.lookup_from_point(user, caches, min_elevation_deg)
+        live = self._live_access(user, min_elevation_deg)
+        return self._lookup.lookup(
+            access_satellite=live.index,
+            access_one_way_ms=access_latency_ms(live.slant_range_km),
+            cache_satellites=caches,
+        )
+
+    def _live_access(self, user: GeoPoint, min_elevation_deg: float):
+        """The nearest visible satellite that is not failed."""
+        from repro.orbits.visibility import visible_satellites
+
+        candidates = visible_satellites(
+            self.snapshot.constellation, user, self.snapshot.t_s, min_elevation_deg
+        )
+        for candidate in candidates:
+            if candidate.index not in self.failed:
+                return candidate
+        raise UnavailableError(
+            f"no live satellite visible from ({user.lat_deg:.1f}, "
+            f"{user.lon_deg:.1f}) with {len(self.failed)} satellites failed"
+        )
 
     def one_way_ms(self, user: GeoPoint) -> float:
         """Convenience: the one-way latency of :meth:`lookup`."""
@@ -116,12 +160,23 @@ class DutyCycleLatencyModel:
         nearest visible satellite, then relay to the cheapest active cache
         within ``max_hops`` (ground fallback if none). All access links are
         resolved in one visibility pass and the ISL legs are shared across
-        users behind the same access satellite.
+        users behind the same access satellite. Users whose nearest visible
+        satellite failed re-home to their nearest *live* one; a user with no
+        live satellite overhead raises
+        :class:`~repro.errors.UnavailableError`.
         """
-        caches = self.scheduler.active_caches_at(self.snapshot.t_s)
+        caches = self._active_caches()
         access_idx, slant_km = nearest_visible_satellites(
             self.snapshot.constellation, users, self.snapshot.t_s, min_elevation_deg
         )
+        if self.failed:
+            access_idx = access_idx.copy()
+            slant_km = slant_km.copy()
+            for i, access in enumerate(access_idx):
+                if int(access) in self.failed:
+                    live = self._live_access(users[i], min_elevation_deg)
+                    access_idx[i] = live.index
+                    slant_km[i] = live.slant_range_km
         access_ms = (
             slant_km / SPEED_OF_LIGHT_KM_S * 1000.0
             + STARLINK_SCHEDULING_DELAY_MS

@@ -64,6 +64,42 @@ def nearest_cached_satellite(
     return best, int(hops[best]), float(latencies[best])
 
 
+def ranked_cached_satellites(
+    snapshot: SnapshotGraph,
+    access_satellite: int,
+    cache_satellites: frozenset[int],
+    max_hops: int,
+    min_hops: int = 0,
+    exclude: frozenset[int] = frozenset(),
+) -> list[tuple[int, int, float]]:
+    """Every in-range caching satellite, cheapest first.
+
+    The degraded serving path walks this ladder: when the best replica
+    times out or is lost, the next attempt goes to the next rung without
+    recomputing the routing pass. Entries are ``(satellite, hops, one-way
+    ISL ms)`` ordered by latency (lowest index on ties); satellites in
+    ``exclude`` (already tried and failed) never appear.
+    """
+    if not cache_satellites:
+        return []
+    hops, latencies = fastcore.single_source(
+        snapshot.core, access_satellite, snapshot.active_mask
+    )
+    ranked = []
+    for satellite in sorted(cache_satellites - exclude):
+        if not 0 <= satellite < snapshot.core.num_nodes:
+            continue
+        h = int(hops[satellite])
+        if h == fastcore.HOP_UNREACHABLE or not min_hops <= h <= max_hops:
+            continue
+        latency = float(latencies[satellite])
+        if not np.isfinite(latency):
+            continue
+        ranked.append((satellite, h, latency))
+    ranked.sort(key=lambda entry: (entry[2], entry[0]))
+    return ranked
+
+
 class LookupSource(enum.Enum):
     """Where a request was ultimately served from."""
 

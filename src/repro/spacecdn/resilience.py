@@ -24,9 +24,11 @@ def fail_satellites(
 ) -> SnapshotGraph:
     """A degraded copy of a snapshot with the failed satellites removed.
 
-    The original snapshot is untouched; the CSR arrays are shared (failures
-    are a node mask, not a rebuild) and ground nodes are preserved minus
-    links to failed satellites.
+    The original snapshot is untouched — ``snapshot.copy()`` duplicates any
+    materialised networkx view, so removing nodes here can never alias the
+    original's graph — and the CSR arrays are shared (failures are a node
+    mask, not a rebuild). Ground nodes are preserved minus links to failed
+    satellites.
     """
     satellites = set(snapshot.satellite_nodes())
     unknown = failed - satellites
@@ -36,6 +38,29 @@ def fail_satellites(
     degraded.failed = snapshot.failed | failed
     if degraded._graph is not None:
         degraded._graph.remove_nodes_from(failed)
+    return degraded
+
+
+def degrade_snapshot(
+    snapshot: SnapshotGraph,
+    failed: frozenset[int] = frozenset(),
+    cut_links=(),
+    latency_multiplier: np.ndarray | None = None,
+) -> SnapshotGraph:
+    """A degraded sibling combining node failures with ISL-level faults.
+
+    Node failures become the active mask (as in :func:`fail_satellites`);
+    cut links and per-link latency multipliers become a fresh weight/
+    liveness vector over the shared CSR topology (see
+    :func:`repro.topology.fastcore.degrade_core`). Either way the healthy
+    snapshot is never mutated and nothing is rebuilt.
+    """
+    degraded = fail_satellites(snapshot, failed)
+    cut = tuple(cut_links)
+    if cut or latency_multiplier is not None:
+        degraded = degraded.with_core(
+            fastcore.degrade_core(snapshot.core, latency_multiplier, cut)
+        )
     return degraded
 
 

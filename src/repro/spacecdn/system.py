@@ -19,17 +19,29 @@ from dataclasses import dataclass, field
 from repro.cdn.cache import Cache, LruCache
 from repro.cdn.content import Catalog
 from repro.constants import CDN_SERVER_THINK_TIME_MS, MIN_ELEVATION_USER_DEG
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnavailableError
+from repro.faults import FaultSchedule, FaultView, RetryPolicy, apply_fault_view
 from repro.geo.coordinates import GeoPoint
 from repro.orbits.walker import Constellation
-from repro.spacecdn.lookup import LookupSource, nearest_cached_satellite
+from repro.spacecdn.lookup import (
+    LookupSource,
+    nearest_cached_satellite,
+    ranked_cached_satellites,
+)
 from repro.topology.graph import SnapshotGraph, access_latency_ms, build_snapshot
 from repro.workloads.requests import Request
 
 
 @dataclass(frozen=True)
 class ServedRequest:
-    """Outcome of one request through the system."""
+    """Outcome of one request through the system.
+
+    ``attempts`` counts fetch attempts including the successful one (always
+    1 on the healthy path); ``fallback_reason`` explains why the request was
+    not served by its preferred rung (``None`` when it was): one of
+    ``"attempt-timeout"``, ``"transient-loss"``, ``"ground-timeout"``,
+    ``"no-space-replica"``, ``"space-exhausted"``.
+    """
 
     object_id: str
     t_s: float
@@ -37,6 +49,8 @@ class ServedRequest:
     serving_satellite: int | None
     isl_hops: int
     rtt_ms: float
+    attempts: int = 1
+    fallback_reason: str | None = None
 
 
 @dataclass
@@ -47,18 +61,44 @@ class SystemStats:
     direct_hits: int = 0
     isl_hits: int = 0
     ground_fetches: int = 0
+    timeouts: int = 0
+    """Attempts abandoned for exceeding the per-attempt RTT budget or to
+    transient loss (each failed attempt counts once)."""
+    retries: int = 0
+    """Extra attempts beyond the first, summed over all requests."""
+    unavailable: int = 0
+    """Requests that exhausted the fallback ladder and raised
+    :class:`~repro.errors.UnavailableError`."""
     rtt_samples_ms: list[float] = field(default_factory=list)
 
     @property
     def requests(self) -> int:
-        return self.access_hits + self.direct_hits + self.isl_hits + self.ground_fetches
+        return (
+            self.access_hits
+            + self.direct_hits
+            + self.isl_hits
+            + self.ground_fetches
+            + self.unavailable
+        )
+
+    @property
+    def served(self) -> int:
+        """Requests that completed with content delivered."""
+        return self.requests - self.unavailable
+
+    @property
+    def availability(self) -> float:
+        """Fraction of requests served at all; 1.0 before any request."""
+        if self.requests == 0:
+            return 1.0
+        return self.served / self.requests
 
     @property
     def space_hit_ratio(self) -> float:
-        """Fraction of requests served without touching the ground."""
-        if self.requests == 0:
+        """Fraction of *served* requests answered without touching the ground."""
+        if self.served == 0:
             return 0.0
-        return (self.requests - self.ground_fetches) / self.requests
+        return (self.served - self.ground_fetches) / self.served
 
 
 @dataclass
@@ -73,6 +113,13 @@ class SpaceCdnSystem:
         ground_rtt_ms: RTT of the bent-pipe + terrestrial fallback path.
         snapshot_interval_s: how often the ISL graph is rebuilt as the
             constellation rotates (60 s keeps link-length error under ~1%).
+        fault_schedule: composed fault processes driving the degraded
+            serving path; ``None`` (or an empty schedule) keeps the healthy
+            fast path byte-for-byte unchanged. Faults are applied at
+            snapshot granularity — the schedule compiles once per snapshot
+            slot into the CSR core's node/link masks.
+        retry_policy: bounded attempts, per-attempt RTT budget, and
+            simulated exponential backoff for the degraded path.
     """
 
     constellation: Constellation
@@ -82,12 +129,19 @@ class SpaceCdnSystem:
     ground_rtt_ms: float = 140.0
     snapshot_interval_s: float = 60.0
     min_elevation_deg: float = MIN_ELEVATION_USER_DEG
+    fault_schedule: FaultSchedule | None = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
 
     stats: SystemStats = field(default_factory=SystemStats)
     _caches: dict[int, Cache] = field(default_factory=dict, repr=False)
     _index: dict[str, set[int]] = field(default_factory=dict, repr=False)
     _snapshot: SnapshotGraph | None = field(default=None, repr=False)
     _snapshot_slot: int = field(default=-1, repr=False)
+    _degraded: SnapshotGraph | None = field(default=None, repr=False)
+    _fault_view: FaultView | None = field(default=None, repr=False)
+    _fault_slot: int = field(default=-1, repr=False)
+    _down_prev: frozenset[int] = field(default=frozenset(), repr=False)
+    _request_counter: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.cache_bytes_per_satellite <= 0:
@@ -189,6 +243,49 @@ class SpaceCdnSystem:
             self._snapshot_slot = slot
         return self._snapshot
 
+    # -- fault plumbing --------------------------------------------------------
+
+    def _fault_state_at(self, snapshot: SnapshotGraph) -> tuple[FaultView, SnapshotGraph]:
+        """The compiled fault view and degraded snapshot for the current slot.
+
+        Compiled once per snapshot slot: the schedule's processes are
+        sampled at the snapshot instant and turned into node/link masks
+        over the shared CSR core. Newly-failed satellites lose their cache
+        contents here when the schedule says outages wipe caches.
+        """
+        if self._fault_slot != self._snapshot_slot or self._degraded is None:
+            view = self.fault_schedule.compile_at(
+                snapshot.t_s, snapshot.core.topology.num_links
+            )
+            self._fault_view = view
+            self._degraded = apply_fault_view(snapshot, view)
+            self._fault_slot = self._snapshot_slot
+            down = frozenset(
+                s
+                for s in view.failed_satellites
+                if 0 <= s < len(self.constellation)
+            )
+            if self.fault_schedule.wipe_caches_on_outage:
+                for satellite in sorted(down - self._down_prev):
+                    self._wipe_cache(satellite)
+            self._down_prev = down
+        return self._fault_view, self._degraded
+
+    def _wipe_cache(self, satellite: int) -> int:
+        """Drop a satellite's cache contents (duty-cycle exit / power loss)."""
+        cache = self._caches.get(satellite)
+        if cache is None:
+            return 0
+        wiped = cache.object_ids()
+        for object_id in wiped:
+            holders = self._index.get(object_id)
+            if holders is not None:
+                holders.discard(satellite)
+                if not holders:
+                    del self._index[object_id]
+        cache.clear()
+        return len(wiped)
+
     # -- the serve path -------------------------------------------------------
 
     def serve(self, user: GeoPoint, object_id: str, t_s: float) -> ServedRequest:
@@ -198,9 +295,24 @@ class SpaceCdnSystem:
         caching satellite within ``max_hops`` ISLs, ground fallback. Ground
         fetches populate the access satellite's cache (pull-through), which
         is how popularity organically builds the space tier.
+
+        With a non-empty ``fault_schedule`` the request runs the degraded
+        path instead: the same ladder, but over the fault-masked snapshot,
+        with ``retry_policy`` bounding attempts and charging simulated
+        backoff, and :class:`~repro.errors.UnavailableError` raised when no
+        serving path survives.
         """
         self.catalog.get(object_id)  # validate early
         snapshot = self.snapshot_at(t_s)
+        if self.fault_schedule is None or self.fault_schedule.is_empty:
+            return self._serve_healthy(user, object_id, t_s, snapshot)
+        view, degraded = self._fault_state_at(snapshot)
+        return self._serve_degraded(user, object_id, t_s, snapshot, view, degraded)
+
+    def _serve_healthy(
+        self, user: GeoPoint, object_id: str, t_s: float, snapshot: SnapshotGraph
+    ) -> ServedRequest:
+        """The fault-free fast path (identical to the pre-fault behaviour)."""
         from repro.orbits.visibility import visible_satellites
 
         visible = visible_satellites(
@@ -259,19 +371,199 @@ class SpaceCdnSystem:
             object_id, t_s, LookupSource.GROUND, None, 0, self.ground_rtt_ms
         )
 
+    def _fallback_ladder(
+        self,
+        degraded: SnapshotGraph,
+        live_visible: list,
+        object_id: str,
+    ) -> list[tuple[LookupSource, int, int, float]]:
+        """Every live serving option for one request, cheapest-rung first.
+
+        Entries are ``(source, satellite, hops, rtt_ms)`` in resolution
+        order: access satellite, other directly visible holders, then the
+        ISL ladder ranked by latency. Each satellite appears once, at its
+        cheapest rung; failed satellites never appear (the degraded
+        snapshot's mask removes them from every routing pass).
+        """
+        holders = self.holders_of(object_id)
+        if not holders:
+            return []
+        ladder: list[tuple[LookupSource, int, int, float]] = []
+        seen: set[int] = set()
+        access = live_visible[0]
+        if access.index in holders:
+            rtt = 2.0 * access_latency_ms(access.slant_range_km)
+            ladder.append(
+                (
+                    LookupSource.ACCESS_SATELLITE,
+                    access.index,
+                    0,
+                    rtt + CDN_SERVER_THINK_TIME_MS,
+                )
+            )
+            seen.add(access.index)
+        for candidate in live_visible[1:]:
+            if candidate.index in holders and candidate.index not in seen:
+                rtt = 2.0 * access_latency_ms(candidate.slant_range_km)
+                ladder.append(
+                    (
+                        LookupSource.DIRECT_VISIBLE,
+                        candidate.index,
+                        0,
+                        rtt + CDN_SERVER_THINK_TIME_MS,
+                    )
+                )
+                seen.add(candidate.index)
+        access_rtt = 2.0 * access_latency_ms(access.slant_range_km)
+        for satellite, hops, isl_one_way in ranked_cached_satellites(
+            degraded,
+            access.index,
+            holders,
+            self.max_hops,
+            min_hops=1,
+            exclude=frozenset(seen),
+        ):
+            ladder.append(
+                (
+                    LookupSource.ISL_NEIGHBOR,
+                    satellite,
+                    hops,
+                    access_rtt + 2.0 * isl_one_way + CDN_SERVER_THINK_TIME_MS,
+                )
+            )
+        return ladder
+
+    def _serve_degraded(
+        self,
+        user: GeoPoint,
+        object_id: str,
+        t_s: float,
+        snapshot: SnapshotGraph,
+        view: FaultView,
+        degraded: SnapshotGraph,
+    ) -> ServedRequest:
+        """One request through the fallback ladder under the fault masks.
+
+        Walks the ladder rung by rung: each tried rung is one attempt;
+        attempts abandoned to the per-attempt RTT budget or to transient
+        loss add simulated backoff and descend to the next rung. The ground
+        rung (when the ground segment is up) absorbs the remaining retry
+        budget. A request that exhausts the ladder or the budget raises
+        :class:`~repro.errors.UnavailableError` — never anything else.
+        """
+        from repro.orbits.visibility import visible_satellites
+
+        policy = self.retry_policy
+        request_index = self._request_counter
+        self._request_counter += 1
+
+        visible = visible_satellites(
+            self.constellation, user, snapshot.t_s, self.min_elevation_deg
+        )
+        live_visible = [s for s in visible if degraded.has_satellite(s.index)]
+        if not live_visible:
+            self.stats.unavailable += 1
+            raise UnavailableError(
+                f"no live satellite visible from ({user.lat_deg:.1f}, "
+                f"{user.lon_deg:.1f}) under the active fault schedule"
+            )
+        access = live_visible[0]
+        ladder = self._fallback_ladder(degraded, live_visible, object_id)
+
+        attempts = 0
+        backoff_ms = 0.0
+        reason: str | None = None
+        for source, satellite, hops, rtt in ladder:
+            if attempts >= policy.max_attempts:
+                break
+            attempts += 1
+            if self.fault_schedule.attempt_lost(request_index, attempts):
+                reason = "transient-loss"
+                self.stats.timeouts += 1
+                backoff_ms += policy.backoff_ms(attempts)
+                continue
+            if not policy.within_budget(rtt):
+                reason = "attempt-timeout"
+                self.stats.timeouts += 1
+                backoff_ms += policy.backoff_ms(attempts)
+                continue
+            self.cache_of(satellite).get(object_id)  # count the hit
+            self.stats.retries += attempts - 1
+            return self._record(
+                object_id,
+                t_s,
+                source,
+                satellite,
+                hops,
+                rtt + backoff_ms,
+                attempts=attempts,
+                fallback_reason=reason,
+            )
+
+        # Ground rung: retried until the attempt budget runs out.
+        ground_reason = "no-space-replica" if not ladder else "space-exhausted"
+        while not view.ground_segment_down and attempts < policy.max_attempts:
+            attempts += 1
+            if self.fault_schedule.attempt_lost(request_index, attempts):
+                reason = "transient-loss"
+                self.stats.timeouts += 1
+                backoff_ms += policy.backoff_ms(attempts)
+                continue
+            if not policy.within_budget(self.ground_rtt_ms):
+                reason = "ground-timeout"
+                self.stats.timeouts += 1
+                backoff_ms += policy.backoff_ms(attempts)
+                continue
+            self._store(access.index, object_id)
+            self.stats.retries += attempts - 1
+            return self._record(
+                object_id,
+                t_s,
+                LookupSource.GROUND,
+                None,
+                0,
+                self.ground_rtt_ms + backoff_ms,
+                attempts=attempts,
+                fallback_reason=reason if reason is not None else ground_reason,
+            )
+
+        self.stats.retries += max(0, attempts - 1)
+        self.stats.unavailable += 1
+        if view.ground_segment_down:
+            raise UnavailableError(
+                f"object {object_id!r}: fallback ladder exhausted after "
+                f"{attempts} attempt(s) and the ground segment is down"
+            )
+        raise UnavailableError(
+            f"object {object_id!r}: retry budget exhausted after "
+            f"{attempts} attempt(s)"
+        )
+
     def serve_request(self, request: Request) -> ServedRequest:
         """Serve one workload :class:`~repro.workloads.requests.Request`."""
         return self.serve(request.city.location, request.object_id, request.t_s)
 
-    def run(self, requests: list[Request]) -> list[ServedRequest]:
-        """Serve a whole request stream (must be time-ordered)."""
+    def run(
+        self, requests: list[Request], continue_on_unavailable: bool = False
+    ) -> list[ServedRequest]:
+        """Serve a whole request stream (must be time-ordered).
+
+        With ``continue_on_unavailable`` the stream survives requests that
+        raise :class:`~repro.errors.UnavailableError` under a fault
+        schedule — they are counted in ``stats.unavailable`` and skipped,
+        which is what availability experiments want.
+        """
         last_t = -1.0
         results = []
         for request in requests:
             if request.t_s < last_t:
                 raise ConfigurationError("request stream is not time-ordered")
             last_t = request.t_s
-            results.append(self.serve_request(request))
+            try:
+                results.append(self.serve_request(request))
+            except UnavailableError:
+                if not continue_on_unavailable:
+                    raise
         return results
 
     def _nearest_holder(
@@ -289,6 +581,8 @@ class SpaceCdnSystem:
         satellite: int | None,
         hops: int,
         rtt_ms: float,
+        attempts: int = 1,
+        fallback_reason: str | None = None,
     ) -> ServedRequest:
         if source is LookupSource.ACCESS_SATELLITE:
             self.stats.access_hits += 1
@@ -306,4 +600,6 @@ class SpaceCdnSystem:
             serving_satellite=satellite,
             isl_hops=hops,
             rtt_ms=rtt_ms,
+            attempts=attempts,
+            fallback_reason=fallback_reason,
         )

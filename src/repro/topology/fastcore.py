@@ -22,7 +22,10 @@ exploits the grid's bounded degree (four ISL terminals per satellite).
 
 Satellite failures are expressed as an ``active`` boolean mask: failed
 nodes neither relay nor terminate paths, matching ``networkx`` routing on
-the degraded subgraph.
+the degraded subgraph. Link-level faults (ISL cuts, latency degradation)
+are expressed per snapshot through :func:`degrade_core`: the degraded view
+shares the immutable topology and only swaps the per-link weight/liveness
+vectors, so fault injection costs one O(E) array pass, never a rebuild.
 """
 
 from __future__ import annotations
@@ -129,11 +132,17 @@ def csr_topology(config: ShellConfig) -> CsrTopology:
 
 @dataclass
 class CsrSnapshot:
-    """Per-instant link weights over a shell's static CSR topology."""
+    """Per-instant link weights over a shell's static CSR topology.
+
+    ``link_active`` (when not ``None``) marks ISLs cut by a fault schedule:
+    inactive links carry nothing in either backend, exactly as if the edge
+    were absent from the graph.
+    """
 
     topology: CsrTopology
     link_distance_km: np.ndarray
     link_latency_ms: np.ndarray
+    link_active: np.ndarray | None = None
     _matrix_cache: dict = field(default_factory=dict, repr=False, compare=False)
     _memo: dict = field(default_factory=dict, repr=False, compare=False)
 
@@ -168,6 +177,47 @@ def build_core(constellation, t_s: float) -> CsrSnapshot:
     distances, latencies = link_weights(topology, constellation.positions_ecef(t_s))
     return CsrSnapshot(
         topology=topology, link_distance_km=distances, link_latency_ms=latencies
+    )
+
+
+def degrade_core(
+    core: CsrSnapshot,
+    latency_multiplier: np.ndarray | None = None,
+    cut_links: Iterable[int] = (),
+) -> CsrSnapshot:
+    """A degraded view of a snapshot core: cut ISLs, inflated link latencies.
+
+    The returned :class:`CsrSnapshot` shares the immutable topology arrays;
+    only the per-link latency vector is copied (scaled by
+    ``latency_multiplier``, which must be finite and >= 1 everywhere) and a
+    ``link_active`` mask marks the cut links. Distances are left untouched —
+    degradation models queueing/retransmission delay, not geometry.
+    """
+    e = core.topology.num_links
+    latencies = core.link_latency_ms
+    if latency_multiplier is not None:
+        mult = np.asarray(latency_multiplier, dtype=np.float64)
+        if mult.shape != (e,):
+            raise RoutingError(
+                f"latency multiplier must have shape ({e},), got {mult.shape}"
+            )
+        if not np.isfinite(mult).all() or (mult < 1.0).any():
+            raise RoutingError("latency multipliers must be finite and >= 1")
+        latencies = latencies * mult
+    link_active = None if core.link_active is None else core.link_active.copy()
+    cut = np.asarray(sorted(set(int(l) for l in cut_links)), dtype=np.int64)
+    if cut.size:
+        if cut[0] < 0 or cut[-1] >= e:
+            bad = cut[0] if cut[0] < 0 else cut[-1]
+            raise RoutingError(f"unknown link id {int(bad)} in cut set")
+        if link_active is None:
+            link_active = np.ones(e, dtype=bool)
+        link_active[cut] = False
+    return CsrSnapshot(
+        topology=core.topology,
+        link_distance_km=core.link_distance_km,
+        link_latency_ms=latencies,
+        link_active=link_active,
     )
 
 
@@ -221,8 +271,13 @@ def _scipy_graph(core: CsrSnapshot, active: np.ndarray | None, weighted: bool):
         return cached
     topo = core.topology
     rows, cols, links = topo.slot_row, topo.indices, topo.slot_link
+    keep = None
     if active is not None:
         keep = active[rows] & active[cols]
+    if core.link_active is not None:
+        live = core.link_active[links]
+        keep = live if keep is None else keep & live
+    if keep is not None:
         rows, cols, links = rows[keep], cols[keep], links[keep]
     data = (
         core.link_latency_ms[links]
@@ -265,11 +320,14 @@ def _numpy_relax(
         return dist
 
     pad = topo.neighbor_link < 0
+    safe_link = np.where(pad, 0, topo.neighbor_link)
     if weighted:
-        weights = core.link_latency_ms[np.where(pad, 0, topo.neighbor_link)]
+        weights = core.link_latency_ms[safe_link]
     else:
         weights = np.ones(topo.neighbor_link.shape)
     weights = np.where(pad, np.inf, weights)
+    if core.link_active is not None:
+        weights = np.where(core.link_active[safe_link], weights, np.inf)
     if active is not None:
         weights = np.where(active[:, None], weights, np.inf)
 

@@ -96,9 +96,12 @@ class SnapshotGraph:
         )
         distances = self.core.link_distance_km
         latencies = self.core.link_latency_ms
+        link_active = self.core.link_active
         for i, (a, b) in enumerate(zip(topo.link_a, topo.link_b)):
             a, b = int(a), int(b)
             if a in self.failed or b in self.failed:
+                continue
+            if link_active is not None and not link_active[i]:
                 continue
             graph.add_edge(
                 a,
@@ -143,6 +146,23 @@ class SnapshotGraph:
             ground_nodes=dict(self.ground_nodes),
             failed=self.failed,
             _graph=None if self._graph is None else self._graph.copy(),
+        )
+
+    def with_core(self, core: CsrSnapshot) -> "SnapshotGraph":
+        """A sibling snapshot routed over a different (degraded) CSR core.
+
+        The networkx view is dropped — it rematerialises lazily against the
+        new core's link weights and liveness mask. Ground nodes are *not*
+        carried over (their access edges were priced against the old view).
+        """
+        if core.topology is not self.core.topology:
+            raise ConfigurationError("core belongs to a different topology")
+        return SnapshotGraph(
+            constellation=self.constellation,
+            t_s=self.t_s,
+            positions=self.positions,
+            core=core,
+            failed=self.failed,
         )
 
     def attach_ground_node(

@@ -23,6 +23,7 @@ EXAMPLES = [
     ("live_system.py", "space hit ratio"),
     ("economics_and_wormholes.py", "wormhole"),
     ("fleet_and_churn.py", "access churn"),
+    ("chaos_sweep.py", "degraded serve"),
 ]
 
 

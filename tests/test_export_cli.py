@@ -4,8 +4,14 @@ import json
 
 import pytest
 
-from repro.cli import build_parser, main
-from repro.errors import DatasetError
+from repro.cli import (
+    EXIT_ERROR,
+    EXIT_FAULT_CONFIG,
+    EXIT_UNAVAILABLE,
+    build_parser,
+    main,
+)
+from repro.errors import DatasetError, UnavailableError
 from repro.geo.datasets import city_by_name
 from repro.measurements.aim import AimGenerator
 from repro.measurements.export import (
@@ -129,6 +135,19 @@ class TestCliParser:
         assert main(["run", "figure8", "--users", "4", "--epochs", "1"]) == 0
         assert "terrestrial median" in capsys.readouterr().out
 
+    def test_run_chaos_smoke(self, capsys):
+        assert main(
+            [
+                "run", "chaos",
+                "--shell", "small",
+                "--requests", "10",
+                "--fractions", "0.0,0.3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "availability" in out
+        assert "30%" in out
+
     def test_missing_command_exits(self):
         import pytest as _pytest
 
@@ -151,3 +170,45 @@ class TestCliParser:
             ["aim", "--tests-per-city", "1", "--format", "json", "--out", str(out_file)]
         ) == 0
         assert json.loads(out_file.read_text())
+
+
+class TestExitCodes:
+    """Fault-layer failures map to distinct non-zero exit codes."""
+
+    def test_fault_config_error_exits_4(self, capsys):
+        # max_attempts=0 is an invalid RetryPolicy -> FaultConfigError.
+        code = main(
+            [
+                "run", "chaos",
+                "--shell", "small",
+                "--requests", "5",
+                "--fractions", "0.0",
+                "--max-attempts", "0",
+            ]
+        )
+        assert code == EXIT_FAULT_CONFIG == 4
+        assert "bad fault configuration" in capsys.readouterr().err
+
+    def test_unavailable_error_exits_3(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        def raise_unavailable(name, args):
+            raise UnavailableError("no serving path survives")
+
+        monkeypatch.setattr(cli_module, "_run_experiment", raise_unavailable)
+        code = main(["run", "chaos", "--shell", "small"])
+        assert code == EXIT_UNAVAILABLE == 3
+        assert "content unavailable" in capsys.readouterr().err
+
+    def test_generic_repro_error_still_exits_2(self, capsys):
+        # An invalid failure fraction is a plain ConfigurationError.
+        code = main(
+            [
+                "run", "chaos",
+                "--shell", "small",
+                "--requests", "5",
+                "--fractions", "1.5",
+            ]
+        )
+        assert code == EXIT_ERROR == 2
+        assert "error" in capsys.readouterr().err

@@ -123,3 +123,50 @@ class TestLatencyModel:
         for lon in (-120.0, -60.0, 0.0, 60.0, 120.0):
             result = model.lookup(GeoPoint(20.0, lon))
             assert result.source is not LookupSource.GROUND
+
+
+class TestFaultsOverDutyCycle:
+    def test_exited_caches_between_slots(self):
+        scheduler = DutyCycleScheduler(
+            total_satellites=48, cache_fraction=0.5, seed=3
+        )
+        exited = scheduler.exited_caches(0, 1)
+        assert exited == scheduler.active_caches(0) - scheduler.active_caches(1)
+        assert exited.isdisjoint(scheduler.active_caches(1))
+
+    def test_failed_satellites_leave_cache_rotation(self, shell1_snapshot):
+        scheduler = DutyCycleScheduler(
+            total_satellites=len(shell1_snapshot.constellation),
+            cache_fraction=0.5,
+            seed=0,
+        )
+        failed = frozenset(scheduler.active_caches_at(0.0))
+        model = DutyCycleLatencyModel(
+            snapshot=shell1_snapshot, scheduler=scheduler, failed=failed
+        )
+        # Every slot-0 cache failed: the active set must be disjoint from it.
+        assert model._active_caches() == frozenset()
+
+    def test_failed_access_satellite_rehomes_user(self, shell1_snapshot):
+        import numpy as np
+
+        from repro.orbits.visibility import nearest_visible_satellite
+
+        user = GeoPoint(0.0, 0.0, 0.0)
+        nearest = nearest_visible_satellite(
+            shell1_snapshot.constellation, user, 0.0
+        )
+        scheduler = DutyCycleScheduler(
+            total_satellites=len(shell1_snapshot.constellation),
+            cache_fraction=0.9,
+            seed=0,
+        )
+        model = DutyCycleLatencyModel(
+            snapshot=shell1_snapshot,
+            scheduler=scheduler,
+            failed=frozenset({nearest.index}),
+        )
+        result = model.lookup(user)
+        assert result.serving_satellite != nearest.index or result.isl_hops > 0
+        batch = model.one_way_ms_batch([user])
+        assert np.isfinite(batch).all()

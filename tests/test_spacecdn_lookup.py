@@ -109,3 +109,39 @@ class TestLookupFromPoint:
         assert via_isl.one_way_ms > direct.one_way_ms
         nothing = lookup.lookup_from_point(user, frozenset())
         assert nothing.source is LookupSource.GROUND
+
+
+class TestRankedCachedSatellites:
+    def test_first_entry_matches_nearest(self, small_snapshot):
+        from repro.spacecdn.lookup import (
+            nearest_cached_satellite,
+            ranked_cached_satellites,
+        )
+
+        holders = frozenset({5, 20, 40})
+        ranked = ranked_cached_satellites(small_snapshot, 0, holders, max_hops=16)
+        nearest = nearest_cached_satellite(small_snapshot, 0, holders, max_hops=16)
+        assert ranked  # all holders reachable on a healthy +Grid
+        assert (ranked[0][0], ranked[0][1]) == (nearest[0], nearest[1])
+        assert ranked[0][2] == pytest.approx(nearest[2])
+
+    def test_sorted_by_latency_and_excludes(self, small_snapshot):
+        from repro.spacecdn.lookup import ranked_cached_satellites
+
+        holders = frozenset({5, 20, 40})
+        ranked = ranked_cached_satellites(small_snapshot, 0, holders, max_hops=16)
+        latencies = [entry[2] for entry in ranked]
+        assert latencies == sorted(latencies)
+        excluded = ranked_cached_satellites(
+            small_snapshot, 0, holders, max_hops=16, exclude=frozenset({ranked[0][0]})
+        )
+        assert ranked[0][0] not in [e[0] for e in excluded]
+        assert len(excluded) == len(ranked) - 1
+
+    def test_min_hops_excludes_access(self, small_snapshot):
+        from repro.spacecdn.lookup import ranked_cached_satellites
+
+        ranked = ranked_cached_satellites(
+            small_snapshot, 0, frozenset({0, 5}), max_hops=16, min_hops=1
+        )
+        assert all(entry[0] != 0 for entry in ranked)
