@@ -5,7 +5,17 @@ Usage::
     python -m repro list
     python -m repro run table1 --seed 7 --tests-per-city 30
     python -m repro run figure7 --users 20 --epochs 5
+    python -m repro run figure8 --out-dir runs/f8 --resume --deadline-s 600
     python -m repro aim --seed 7 --tests-per-city 30 --format csv --out aim.csv
+
+Without ``--out-dir`` an experiment runs monolithically in memory, exactly
+as it always has. With ``--out-dir`` it runs through the crash-safe
+:mod:`repro.runner`: sharded, checkpointed, resumable with ``--resume``,
+and bounded by ``--deadline-s`` / ``--shard-deadline-s``.
+
+Exit codes: 0 success; 2 generic error; 3 content unavailable; 4 bad
+fault/experiment configuration; 5 interrupted (checkpoints flushed);
+6 deadline exceeded; 7 a shard exhausted its retries.
 """
 
 from __future__ import annotations
@@ -14,7 +24,14 @@ import argparse
 import sys
 from typing import Callable
 
-from repro.errors import FaultConfigError, ReproError, UnavailableError
+from repro.errors import (
+    DeadlineExceededError,
+    FaultConfigError,
+    ReproError,
+    RunInterruptedError,
+    ShardExhaustedError,
+    UnavailableError,
+)
 
 EXIT_ERROR = 2
 """Generic :class:`~repro.errors.ReproError` exit code."""
@@ -22,6 +39,14 @@ EXIT_UNAVAILABLE = 3
 """Content was unreachable under the active fault state."""
 EXIT_FAULT_CONFIG = 4
 """A fault schedule / retry policy was configured inconsistently."""
+EXIT_INTERRUPTED = 5
+"""The run stopped on SIGINT/SIGTERM (or ``--max-shards``) after flushing
+every completed shard; rerun with ``--resume`` to continue."""
+EXIT_DEADLINE = 6
+"""The ``--deadline-s`` wall-clock budget expired; completed shards are
+checkpointed."""
+EXIT_SHARD_FAILED = 7
+"""One shard kept failing after exhausting its retry budget."""
 
 _EXPERIMENTS: dict[str, str] = {
     "chaos": "Chaos sweep: availability and latency under injected failures",
@@ -34,6 +59,31 @@ _EXPERIMENTS: dict[str, str] = {
     "figure8": "Fig. 8: duty-cycled SpaceCDN latency",
     "geoblocking": "§2 claim: home-content geo-blocking prevalence over Starlink",
 }
+
+
+def _parse_fractions(text: str) -> tuple[float, ...]:
+    """Validate ``--fractions`` eagerly, before any experiment work runs."""
+    fractions = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            value = float(token)
+        except ValueError:
+            raise FaultConfigError(
+                f"--fractions expects comma-separated numbers, got {token!r}"
+            ) from None
+        if not 0.0 <= value <= 1.0:
+            raise FaultConfigError(
+                f"--fractions values must be within [0, 1], got {value:g}"
+            )
+        fractions.append(value)
+    if not fractions:
+        raise FaultConfigError(
+            f"--fractions needs at least one value, got {text!r}"
+        )
+    return tuple(fractions)
 
 
 def _run_experiment(name: str, args: argparse.Namespace) -> str:
@@ -54,9 +104,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> str:
             chaos.run(
                 seed=args.seed,
                 num_requests=args.requests,
-                fractions=tuple(
-                    float(f) for f in args.fractions.split(",") if f
-                ),
+                fractions=_parse_fractions(args.fractions),
                 shell=args.shell,
                 max_attempts=args.max_attempts,
             )
@@ -92,6 +140,55 @@ def _run_experiment(name: str, args: argparse.Namespace) -> str:
     return runner()
 
 
+def _build_plan(name: str, args: argparse.Namespace):
+    """The sharded plan equivalent of :func:`_run_experiment`."""
+    from repro.experiments import (
+        chaos,
+        figure2,
+        figure3,
+        figure4,
+        figure5,
+        figure7,
+        figure8,
+        geoblocking,
+        table1,
+    )
+
+    builders = {
+        "chaos": lambda: chaos.build_plan(
+            seed=args.seed,
+            num_requests=args.requests,
+            fractions=_parse_fractions(args.fractions),
+            shell=args.shell,
+            max_attempts=args.max_attempts,
+        ),
+        "table1": lambda: table1.build_plan(
+            seed=args.seed, tests_per_city=args.tests_per_city
+        ),
+        "figure2": lambda: figure2.build_plan(
+            seed=args.seed, tests_per_city=args.tests_per_city
+        ),
+        "figure3": lambda: figure3.build_plan(
+            seed=args.seed, samples_per_site=args.samples
+        ),
+        "figure4": lambda: figure4.build_plan(seed=args.seed, rounds=args.rounds),
+        "figure5": lambda: figure5.build_plan(seed=args.seed, rounds=args.rounds),
+        "figure7": lambda: figure7.build_plan(
+            seed=args.seed, users_per_epoch=args.users, num_epochs=args.epochs
+        ),
+        "figure8": lambda: figure8.build_plan(
+            seed=args.seed, users_per_epoch=args.users, num_epochs=args.epochs
+        ),
+        "geoblocking": lambda: geoblocking.build_plan(),
+    }
+    builder = builders.get(name)
+    if builder is None:
+        raise ReproError(
+            f"unknown experiment {name!r}; choose from {sorted(_EXPERIMENTS)}"
+        )
+    return builder()
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     for name, description in _EXPERIMENTS.items():
         print(f"{name:10s} {description}")
@@ -99,7 +196,32 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    print(_run_experiment(args.experiment, args))
+    if args.out_dir is None:
+        for flag, value in (
+            ("--resume", args.resume),
+            ("--deadline-s", args.deadline_s),
+            ("--shard-deadline-s", args.shard_deadline_s),
+            ("--max-shards", args.max_shards),
+        ):
+            if value:
+                raise ReproError(f"{flag} requires --out-dir")
+        # The original monolithic in-memory path, byte-identical.
+        print(_run_experiment(args.experiment, args))
+        return 0
+
+    from repro.runner import ExperimentRunner, RunnerOptions
+
+    runner = ExperimentRunner(
+        plan=_build_plan(args.experiment, args),
+        run_dir=args.out_dir,
+        options=RunnerOptions(
+            resume=args.resume,
+            deadline_s=args.deadline_s,
+            shard_deadline_s=args.shard_deadline_s,
+            max_shards=args.max_shards,
+        ),
+    )
+    print(runner.execute())
     return 0
 
 
@@ -148,6 +270,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="constellation for the chaos sweep (small = 6x8 smoke shell)",
     )
     run_cmd.add_argument("--max-attempts", type=int, default=3)
+    run_cmd.add_argument(
+        "--out-dir",
+        default=None,
+        help="run crash-safely under this directory: sharded execution with "
+        "atomic per-shard checkpoints, a manifest, and result.txt",
+    )
+    run_cmd.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue a previous --out-dir run, skipping completed shards "
+        "(refused if the directory's manifest does not match this invocation)",
+    )
+    run_cmd.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help=f"whole-run wall-clock budget in seconds "
+        f"(exit {EXIT_DEADLINE} when exceeded)",
+    )
+    run_cmd.add_argument(
+        "--shard-deadline-s",
+        type=float,
+        default=None,
+        help=f"per-shard wall-clock budget in seconds; a shard that hangs "
+        f"past it is retried, then exit {EXIT_SHARD_FAILED}",
+    )
+    run_cmd.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        help=f"stop (exit {EXIT_INTERRUPTED}) after completing this many "
+        f"shards; useful for budgeted, incremental runs",
+    )
     run_cmd.set_defaults(func=_cmd_run)
 
     aim_cmd = sub.add_parser("aim", help="generate and export the synthetic AIM dataset")
@@ -166,6 +321,15 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except RunInterruptedError as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except DeadlineExceededError as exc:
+        print(f"deadline: {exc}", file=sys.stderr)
+        return EXIT_DEADLINE
+    except ShardExhaustedError as exc:
+        print(f"error: shard failed: {exc}", file=sys.stderr)
+        return EXIT_SHARD_FAILED
     except UnavailableError as exc:
         print(f"error: content unavailable: {exc}", file=sys.stderr)
         return EXIT_UNAVAILABLE

@@ -56,3 +56,37 @@ class DatasetError(ReproError):
 
 class PlacementError(ReproError):
     """A replica-placement request could not be satisfied."""
+
+
+class RunnerError(ReproError):
+    """The crash-safe experiment runner could not execute a run."""
+
+
+class CheckpointError(RunnerError):
+    """A checkpoint store operation failed (unwritable directory, etc.).
+
+    A *corrupt* checkpoint file never raises this: the store quarantines it
+    and recomputes the shard instead.
+    """
+
+
+class ManifestMismatchError(RunnerError):
+    """``--resume`` pointed at a run directory with an incompatible manifest
+    (different experiment, configuration, or package version)."""
+
+
+class DeadlineExceededError(RunnerError):
+    """The whole-run wall-clock budget expired; completed shards are on disk."""
+
+
+class ShardTimeoutError(RunnerError):
+    """One shard overran its per-shard wall-clock budget (retryable)."""
+
+
+class ShardExhaustedError(RunnerError):
+    """A shard kept failing after exhausting its retry budget."""
+
+
+class RunInterruptedError(RunnerError):
+    """The run stopped early (SIGINT/SIGTERM or an explicit shard budget)
+    after flushing every completed shard; resume with ``--resume``."""

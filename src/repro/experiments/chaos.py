@@ -14,6 +14,7 @@ so the comparison isolates the *faults*, not the code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -29,6 +30,7 @@ from repro.experiments.common import (
 from repro.faults import FaultSchedule, OutageWindow, RetryPolicy
 from repro.geo.datasets import all_cities
 from repro.orbits.walker import Constellation
+from repro.runner.shards import ExperimentPlan
 from repro.simulation.sampler import seeded_rng, user_sample_points
 from repro.spacecdn.bubbles import RegionalPopularity
 from repro.spacecdn.dutycycle import DutyCycleLatencyModel, DutyCycleScheduler
@@ -149,6 +151,109 @@ def _dutycycle_median(
     return float(np.median(rtts)) if rtts else float("nan")
 
 
+@dataclass(eq=False)
+class _SweepContext:
+    """Shared, fraction-independent artifacts of one chaos sweep."""
+
+    constellation: Constellation
+    catalog: Catalog
+    requests: list
+    preload: dict
+    duty_user_points: list
+
+
+@lru_cache(maxsize=2)
+def _sweep_context(
+    seed: int, num_requests: int, shell: str, duty_users: int
+) -> _SweepContext:
+    """Build (once per configuration) everything the sweep points share.
+
+    Cached so the sharded runner, which executes each fraction as its own
+    shard, pays the catalog/request/preload construction once per process
+    like the monolithic sweep does.
+    """
+    constellation = _constellation_for(shell)
+    catalog = build_catalog(
+        seeded_rng(seed, 0xC4A07),
+        120,
+        regions=CATALOG_REGIONS,
+        kind_weights={"web": 1.0},
+    )
+    placement = KPerPlanePlacement(copies_per_plane=1)
+    popular = RegionalPopularity(catalog=catalog, seed=seed)
+    return _SweepContext(
+        constellation=constellation,
+        catalog=catalog,
+        requests=_build_requests(catalog, num_requests, seed),
+        preload={
+            object_id: placement.place_object(object_id, constellation.config)
+            for region in popular.regions()
+            for object_id in popular.top_objects(region, 10)
+        },
+        duty_user_points=user_sample_points(seeded_rng(seed, 0xC4A08), duty_users),
+    )
+
+
+def _sweep_point(
+    ctx: _SweepContext,
+    fraction: float,
+    seed: int,
+    max_attempts: int,
+    duty_cache_fraction: float,
+) -> dict:
+    """One failure fraction's raw measurements (inflations are merge-time:
+    they compare against the sweep's baseline point)."""
+    constellation = ctx.constellation
+    failed = random_failure_set(
+        len(constellation), fraction, seeded_rng(seed, 0xFA11)
+    )
+    system = SpaceCdnSystem(
+        constellation=constellation,
+        catalog=ctx.catalog,
+        cache_bytes_per_satellite=10**9,
+        fault_schedule=FaultSchedule().add(OutageWindow(satellites=failed)),
+        retry_policy=RetryPolicy(max_attempts=max_attempts),
+    )
+    system.preload(ctx.preload)
+    system.run(ctx.requests, continue_on_unavailable=True)
+    stats = system.stats
+    p50, p99 = _quantiles(stats.rtt_samples_ms)
+    return {
+        "fraction": fraction,
+        "requests": stats.requests,
+        "availability": stats.availability,
+        "space_hit_ratio": stats.space_hit_ratio,
+        "p50_rtt_ms": p50,
+        "p99_rtt_ms": p99,
+        "timeouts": stats.timeouts,
+        "retries": stats.retries,
+        "unavailable": stats.unavailable,
+        "dutycycle_median_ms": _dutycycle_median(
+            constellation, failed, ctx.duty_user_points,
+            duty_cache_fraction, seed,
+        ),
+    }
+
+
+def _points_from_raw(raw_points: list[dict]) -> tuple[ChaosPoint, ...]:
+    """Fold raw sweep points (in sorted-fraction order) into ChaosPoints,
+    computing p50/p99 inflation against the first non-NaN baseline."""
+    points: list[ChaosPoint] = []
+    baseline_p50 = baseline_p99 = float("nan")
+    for raw in raw_points:
+        p50, p99 = raw["p50_rtt_ms"], raw["p99_rtt_ms"]
+        if np.isnan(baseline_p50):
+            baseline_p50, baseline_p99 = p50, p99
+        points.append(
+            ChaosPoint(
+                p50_inflation=p50 / baseline_p50 if baseline_p50 else float("nan"),
+                p99_inflation=p99 / baseline_p99 if baseline_p99 else float("nan"),
+                **raw,
+            )
+        )
+    return tuple(points)
+
+
 def run(
     seed: int = DEFAULT_SEED,
     num_requests: int = 150,
@@ -163,62 +268,65 @@ def run(
         raise ConfigurationError("num_requests must be >= 1")
     if not fractions:
         raise ConfigurationError("need at least one failure fraction")
-    constellation = _constellation_for(shell)
-    catalog = build_catalog(
-        seeded_rng(seed, 0xC4A07),
-        120,
-        regions=CATALOG_REGIONS,
-        kind_weights={"web": 1.0},
-    )
-    requests = _build_requests(catalog, num_requests, seed)
-    placement = KPerPlanePlacement(copies_per_plane=1)
-    popular = RegionalPopularity(catalog=catalog, seed=seed)
-    preload = {
-        object_id: placement.place_object(object_id, constellation.config)
-        for region in popular.regions()
-        for object_id in popular.top_objects(region, 10)
-    }
-    duty_user_points = user_sample_points(seeded_rng(seed, 0xC4A08), duty_users)
+    ctx = _sweep_context(seed, num_requests, shell, duty_users)
+    raw_points = [
+        _sweep_point(ctx, fraction, seed, max_attempts, duty_cache_fraction)
+        for fraction in sorted(fractions)
+    ]
+    return ChaosResult(shell=shell, points=_points_from_raw(raw_points))
 
-    points: list[ChaosPoint] = []
-    baseline_p50 = baseline_p99 = float("nan")
-    for fraction in sorted(fractions):
-        failed = random_failure_set(
-            len(constellation), fraction, seeded_rng(seed, 0xFA11)
-        )
-        system = SpaceCdnSystem(
-            constellation=constellation,
-            catalog=catalog,
-            cache_bytes_per_satellite=10**9,
-            fault_schedule=FaultSchedule().add(OutageWindow(satellites=failed)),
-            retry_policy=RetryPolicy(max_attempts=max_attempts),
-        )
-        system.preload(preload)
-        system.run(requests, continue_on_unavailable=True)
-        stats = system.stats
-        p50, p99 = _quantiles(stats.rtt_samples_ms)
-        if np.isnan(baseline_p50):
-            baseline_p50, baseline_p99 = p50, p99
-        points.append(
-            ChaosPoint(
-                fraction=fraction,
-                requests=stats.requests,
-                availability=stats.availability,
-                space_hit_ratio=stats.space_hit_ratio,
-                p50_rtt_ms=p50,
-                p99_rtt_ms=p99,
-                p50_inflation=p50 / baseline_p50 if baseline_p50 else float("nan"),
-                p99_inflation=p99 / baseline_p99 if baseline_p99 else float("nan"),
-                timeouts=stats.timeouts,
-                retries=stats.retries,
-                unavailable=stats.unavailable,
-                dutycycle_median_ms=_dutycycle_median(
-                    constellation, failed, duty_user_points,
-                    duty_cache_fraction, seed,
-                ),
-            )
-        )
-    return ChaosResult(shell=shell, points=tuple(points))
+
+def build_plan(
+    seed: int = DEFAULT_SEED,
+    num_requests: int = 150,
+    fractions: tuple[float, ...] = FAILURE_FRACTIONS,
+    shell: str = "shell1",
+    max_attempts: int = 3,
+    duty_cache_fraction: float = 0.5,
+    duty_users: int = 12,
+) -> ExperimentPlan:
+    """Sharded chaos sweep: one shard per failure fraction.
+
+    A killed sweep loses at most one fraction's system run; the inflation
+    columns are recomputed at merge time from the checkpointed baselines,
+    so resumed output matches an uninterrupted sweep byte for byte.
+    """
+    if num_requests < 1:
+        raise ConfigurationError("num_requests must be >= 1")
+    if not fractions:
+        raise ConfigurationError("need at least one failure fraction")
+    # Retry-policy misconfiguration should surface at plan time, before
+    # any shard burns its budget discovering it.
+    RetryPolicy(max_attempts=max_attempts)
+    ordered = tuple(sorted(fractions))
+    shard_ids = tuple(f"fraction-{i:02d}" for i in range(len(ordered)))
+
+    def run_shard(shard_id: str) -> dict:
+        fraction = ordered[shard_ids.index(shard_id)]
+        ctx = _sweep_context(seed, num_requests, shell, duty_users)
+        return _sweep_point(ctx, fraction, seed, max_attempts, duty_cache_fraction)
+
+    def merge(payloads: dict) -> ChaosResult:
+        raw_points = [payloads[shard_id] for shard_id in shard_ids]
+        return ChaosResult(shell=shell, points=_points_from_raw(raw_points))
+
+    return ExperimentPlan(
+        experiment="chaos",
+        config={
+            "experiment": "chaos",
+            "seed": seed,
+            "num_requests": num_requests,
+            "fractions": list(ordered),
+            "shell": shell,
+            "max_attempts": max_attempts,
+            "duty_cache_fraction": duty_cache_fraction,
+            "duty_users": duty_users,
+        },
+        shard_ids=shard_ids,
+        run_shard=run_shard,
+        merge=merge,
+        format=format_result,
+    )
 
 
 def format_result(result: ChaosResult) -> str:

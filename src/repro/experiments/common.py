@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro.errors import DatasetError
+from repro.geo.datasets import all_cities
 from repro.measurements.aim import AimDataset, AimGenerator
 from repro.orbits.elements import ShellConfig, starlink_shell1
 from repro.orbits.walker import Constellation, build_walker_delta
@@ -66,6 +68,32 @@ def aim_dataset(
 ) -> AimDataset:
     """The cached synthetic AIM dataset."""
     return AimGenerator(seed=seed).generate(tests_per_city=tests_per_city)
+
+
+@lru_cache(maxsize=256)
+def country_aim_dataset(
+    iso2: str,
+    seed: int = DEFAULT_SEED,
+    tests_per_city: int = DEFAULT_TESTS_PER_CITY,
+) -> AimDataset:
+    """One country's AIM batch, independent of every other country.
+
+    The sharded runner generates the dataset per-country so each shard is a
+    pure function of (seed, country); the noise streams therefore differ
+    from the sequential full-gazetteer :func:`aim_dataset` pass, which the
+    monolithic experiments keep using unchanged.
+    """
+    cities = tuple(c for c in all_cities() if c.iso2 == iso2)
+    if not cities:
+        raise DatasetError(f"no gazetteer city in {iso2}")
+    return AimGenerator(seed=seed).generate(
+        tests_per_city=tests_per_city, cities=cities
+    )
+
+
+def gazetteer_countries() -> tuple[str, ...]:
+    """Every country with at least one gazetteer city, sorted by ISO code."""
+    return tuple(sorted({c.iso2 for c in all_cities()}))
 
 
 def shell1_epochs(num_epochs: int, seed: int = DEFAULT_SEED) -> list[float]:

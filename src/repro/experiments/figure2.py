@@ -11,9 +11,16 @@ from dataclasses import dataclass
 
 from repro.analysis.stats import delta_by_group
 from repro.analysis.tables import format_table
-from repro.experiments.common import DEFAULT_SEED, DEFAULT_TESTS_PER_CITY, aim_dataset
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    DEFAULT_TESTS_PER_CITY,
+    aim_dataset,
+    country_aim_dataset,
+    gazetteer_countries,
+)
 from repro.geo.datasets import country_by_iso2
 from repro.measurements.aim import STARLINK, TERRESTRIAL
+from repro.runner.shards import ExperimentPlan
 
 
 @dataclass(frozen=True)
@@ -46,6 +53,53 @@ def run(
         dataset.rtts_by_country(STARLINK), dataset.rtts_by_country(TERRESTRIAL)
     )
     return Figure2Result(deltas_ms=deltas)
+
+
+def country_delta(
+    iso2: str,
+    seed: int = DEFAULT_SEED,
+    tests_per_city: int = DEFAULT_TESTS_PER_CITY,
+) -> dict[str, float]:
+    """One country's median-RTT delta from its per-country AIM batch.
+
+    Empty for countries without Starlink coverage (no delta is defined),
+    mirroring :func:`~repro.analysis.stats.delta_by_group`.
+    """
+    dataset = country_aim_dataset(iso2, seed, tests_per_city)
+    return delta_by_group(
+        dataset.rtts_by_country(STARLINK), dataset.rtts_by_country(TERRESTRIAL)
+    )
+
+
+def build_plan(
+    seed: int = DEFAULT_SEED, tests_per_city: int = DEFAULT_TESTS_PER_CITY
+) -> ExperimentPlan:
+    """Sharded Fig. 2: one shard per gazetteer country."""
+    countries = gazetteer_countries()
+    shard_ids = tuple(f"country-{iso2}" for iso2 in countries)
+
+    def run_shard(shard_id: str) -> dict:
+        iso2 = countries[shard_ids.index(shard_id)]
+        return {"deltas_ms": country_delta(iso2, seed, tests_per_city)}
+
+    def merge(payloads: dict) -> Figure2Result:
+        deltas: dict[str, float] = {}
+        for shard_id in shard_ids:
+            deltas.update(payloads[shard_id]["deltas_ms"])
+        return Figure2Result(deltas_ms=deltas)
+
+    return ExperimentPlan(
+        experiment="figure2",
+        config={
+            "experiment": "figure2",
+            "seed": seed,
+            "tests_per_city": tests_per_city,
+        },
+        shard_ids=shard_ids,
+        run_shard=run_shard,
+        merge=merge,
+        format=format_result,
+    )
 
 
 def format_result(result: Figure2Result) -> str:

@@ -16,6 +16,7 @@ from repro.errors import ConfigurationError
 from repro.experiments.common import DEFAULT_SEED
 from repro.geo.datasets import cdn_site_by_name, city_by_name
 from repro.measurements.aim import STARLINK, TERRESTRIAL, AimGenerator
+from repro.runner.shards import ExperimentPlan
 
 # The CDN sites visible in the paper's Fig. 3 maps.
 CASE_STUDY_SITES: tuple[str, ...] = (
@@ -53,26 +54,63 @@ class Figure3Result:
         return name, table[name]
 
 
+def _site_medians(
+    generator: AimGenerator, isp: str, samples_per_site: int
+) -> dict[str, float]:
+    """Median RTT from Maputo to every case-study site for one ISP class."""
+    maputo = city_by_name("Maputo")
+    result: dict[str, float] = {}
+    for site_name in CASE_STUDY_SITES:
+        site = cdn_site_by_name(site_name)
+        samples = [
+            generator.sample_rtt_ms(maputo, site, isp)
+            for _ in range(samples_per_site)
+        ]
+        result[site_name] = float(median(samples))
+    return result
+
+
 def run(seed: int = DEFAULT_SEED, samples_per_site: int = 25) -> Figure3Result:
     """Probe every case-study site from Maputo over both ISP classes."""
     if samples_per_site < 1:
         raise ConfigurationError("samples_per_site must be >= 1")
     generator = AimGenerator(seed=seed)
-    maputo = city_by_name("Maputo")
-
-    def medians_for(isp: str) -> dict[str, float]:
-        result: dict[str, float] = {}
-        for site_name in CASE_STUDY_SITES:
-            site = cdn_site_by_name(site_name)
-            samples = [
-                generator.sample_rtt_ms(maputo, site, isp)
-                for _ in range(samples_per_site)
-            ]
-            result[site_name] = float(median(samples))
-        return result
-
     return Figure3Result(
-        starlink_ms=medians_for(STARLINK), terrestrial_ms=medians_for(TERRESTRIAL)
+        starlink_ms=_site_medians(generator, STARLINK, samples_per_site),
+        terrestrial_ms=_site_medians(generator, TERRESTRIAL, samples_per_site),
+    )
+
+
+def build_plan(
+    seed: int = DEFAULT_SEED, samples_per_site: int = 25
+) -> ExperimentPlan:
+    """Sharded Fig. 3: one shard per ISP class (each with its own fresh,
+    seed-addressed generator, so either can be recomputed in isolation)."""
+    if samples_per_site < 1:
+        raise ConfigurationError("samples_per_site must be >= 1")
+    shard_ids = (STARLINK, TERRESTRIAL)
+
+    def run_shard(shard_id: str) -> dict:
+        generator = AimGenerator(seed=seed)
+        return {"medians_ms": _site_medians(generator, shard_id, samples_per_site)}
+
+    def merge(payloads: dict) -> Figure3Result:
+        return Figure3Result(
+            starlink_ms=payloads[STARLINK]["medians_ms"],
+            terrestrial_ms=payloads[TERRESTRIAL]["medians_ms"],
+        )
+
+    return ExperimentPlan(
+        experiment="figure3",
+        config={
+            "experiment": "figure3",
+            "seed": seed,
+            "samples_per_site": samples_per_site,
+        },
+        shard_ids=shard_ids,
+        run_shard=run_shard,
+        merge=merge,
+        format=format_result,
     )
 
 

@@ -18,6 +18,7 @@ from repro.experiments.common import DEFAULT_SEED
 from repro.geo.datasets import cities_in_country
 from repro.measurements.aim import STARLINK, TERRESTRIAL
 from repro.measurements.netmet import NetMetProbe
+from repro.runner.shards import ExperimentPlan
 from repro.simulation.sampler import seeded_rng
 
 # Countries highlighted in the paper's Fig. 4 legend.
@@ -59,26 +60,73 @@ def run(
         raise ConfigurationError("rounds must be >= 1")
     probe = NetMetProbe(seed=seed)
     pair_rng = seeded_rng(seed, 0xF16)
-
     differences: dict[str, list[float]] = {}
     for iso2 in countries:
-        cities = cities_in_country(iso2)
-        if not cities:
-            raise ConfigurationError(f"no gazetteer city in {iso2}")
-        starlink_hrts: list[float] = []
-        terrestrial_hrts: list[float] = []
-        for city in cities:
-            starlink_hrts.extend(
-                r.http_response_ms for r in probe.browse(city, STARLINK, rounds)
-            )
-            terrestrial_hrts.extend(
-                r.http_response_ms for r in probe.browse(city, TERRESTRIAL, rounds)
-            )
-        paired = min(len(starlink_hrts), len(terrestrial_hrts))
-        star = pair_rng.permutation(np.asarray(starlink_hrts))[:paired]
-        terr = pair_rng.permutation(np.asarray(terrestrial_hrts))[:paired]
-        differences[iso2] = [float(d) for d in star - terr]
+        differences[iso2] = _country_differences(probe, pair_rng, iso2, rounds)
     return Figure4Result(differences_ms=differences)
+
+
+def _country_differences(
+    probe: NetMetProbe, pair_rng, iso2: str, rounds: int
+) -> list[float]:
+    """One country's randomly paired HRT differences."""
+    cities = cities_in_country(iso2)
+    if not cities:
+        raise ConfigurationError(f"no gazetteer city in {iso2}")
+    starlink_hrts: list[float] = []
+    terrestrial_hrts: list[float] = []
+    for city in cities:
+        starlink_hrts.extend(
+            r.http_response_ms for r in probe.browse(city, STARLINK, rounds)
+        )
+        terrestrial_hrts.extend(
+            r.http_response_ms for r in probe.browse(city, TERRESTRIAL, rounds)
+        )
+    paired = min(len(starlink_hrts), len(terrestrial_hrts))
+    star = pair_rng.permutation(np.asarray(starlink_hrts))[:paired]
+    terr = pair_rng.permutation(np.asarray(terrestrial_hrts))[:paired]
+    return [float(d) for d in star - terr]
+
+
+def build_plan(
+    seed: int = DEFAULT_SEED,
+    rounds: int = 3,
+    countries: tuple[str, ...] = FIGURE4_COUNTRIES,
+) -> ExperimentPlan:
+    """Sharded Fig. 4: one shard per highlighted country, each browsing
+    with its own probe and pairing stream derived from (seed, country)."""
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    shard_ids = tuple(f"country-{iso2}" for iso2 in countries)
+
+    def run_shard(shard_id: str) -> dict:
+        index = shard_ids.index(shard_id)
+        iso2 = countries[index]
+        probe = NetMetProbe(seed=seed)
+        pair_rng = seeded_rng(seed, 0xF16, index)
+        return {"differences_ms": _country_differences(probe, pair_rng, iso2, rounds)}
+
+    def merge(payloads: dict) -> Figure4Result:
+        return Figure4Result(
+            differences_ms={
+                iso2: payloads[shard_id]["differences_ms"]
+                for iso2, shard_id in zip(countries, shard_ids)
+            }
+        )
+
+    return ExperimentPlan(
+        experiment="figure4",
+        config={
+            "experiment": "figure4",
+            "seed": seed,
+            "rounds": rounds,
+            "countries": list(countries),
+        },
+        shard_ids=shard_ids,
+        run_shard=run_shard,
+        merge=merge,
+        format=format_result,
+    )
 
 
 def format_result(result: Figure4Result) -> str:

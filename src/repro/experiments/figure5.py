@@ -16,6 +16,7 @@ from repro.experiments.common import DEFAULT_SEED
 from repro.geo.datasets import cities_in_country
 from repro.measurements.aim import STARLINK, TERRESTRIAL
 from repro.measurements.netmet import NetMetProbe
+from repro.runner.shards import ExperimentPlan
 
 FIGURE5_COUNTRIES: tuple[str, ...] = ("DE", "GB")
 
@@ -45,15 +46,62 @@ def run(
     probe = NetMetProbe(seed=seed)
     summaries: dict[tuple[str, str], DistributionSummary] = {}
     for iso2 in countries:
-        cities = cities_in_country(iso2)
-        if not cities:
-            raise ConfigurationError(f"no gazetteer city in {iso2}")
-        for isp in (STARLINK, TERRESTRIAL):
-            samples: list[float] = []
-            for city in cities:
-                samples.extend(r.fcp_ms for r in probe.browse(city, isp, rounds))
+        for isp, samples in _country_fcp_samples(probe, iso2, rounds).items():
             summaries[(iso2, isp)] = summarize(samples)
     return Figure5Result(fcp_summaries=summaries)
+
+
+def _country_fcp_samples(
+    probe: NetMetProbe, iso2: str, rounds: int
+) -> dict[str, list[float]]:
+    """FCP samples per ISP class for one country's gazetteer cities."""
+    cities = cities_in_country(iso2)
+    if not cities:
+        raise ConfigurationError(f"no gazetteer city in {iso2}")
+    samples: dict[str, list[float]] = {}
+    for isp in (STARLINK, TERRESTRIAL):
+        per_isp: list[float] = []
+        for city in cities:
+            per_isp.extend(r.fcp_ms for r in probe.browse(city, isp, rounds))
+        samples[isp] = per_isp
+    return samples
+
+
+def build_plan(
+    seed: int = DEFAULT_SEED,
+    rounds: int = 3,
+    countries: tuple[str, ...] = FIGURE5_COUNTRIES,
+) -> ExperimentPlan:
+    """Sharded Fig. 5: one shard per country, each with a fresh probe."""
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    shard_ids = tuple(f"country-{iso2}" for iso2 in countries)
+
+    def run_shard(shard_id: str) -> dict:
+        iso2 = countries[shard_ids.index(shard_id)]
+        probe = NetMetProbe(seed=seed)
+        return {"samples": _country_fcp_samples(probe, iso2, rounds)}
+
+    def merge(payloads: dict) -> Figure5Result:
+        summaries: dict[tuple[str, str], DistributionSummary] = {}
+        for iso2, shard_id in zip(countries, shard_ids):
+            for isp, samples in payloads[shard_id]["samples"].items():
+                summaries[(iso2, isp)] = summarize(samples)
+        return Figure5Result(fcp_summaries=summaries)
+
+    return ExperimentPlan(
+        experiment="figure5",
+        config={
+            "experiment": "figure5",
+            "seed": seed,
+            "rounds": rounds,
+            "countries": list(countries),
+        },
+        shard_ids=shard_ids,
+        run_shard=run_shard,
+        merge=merge,
+        format=format_result,
+    )
 
 
 def format_result(result: Figure5Result) -> str:

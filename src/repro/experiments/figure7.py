@@ -23,8 +23,10 @@ from repro.experiments.common import (
     shell1_epochs,
     shell1_snapshot,
 )
+from repro.geo.coordinates import GeoPoint
 from repro.measurements.aim import STARLINK, TERRESTRIAL
 from repro.orbits.visibility import nearest_visible_satellites
+from repro.runner.shards import ExperimentPlan
 from repro.simulation.sampler import seeded_rng, user_sample_points
 from repro.topology import fastcore
 
@@ -68,30 +70,40 @@ def spacecdn_rtt_samples(
     """
     if users_per_epoch < 1 or num_epochs < 1:
         raise ConfigurationError("users_per_epoch and num_epochs must be >= 1")
-    constellation = shell1_constellation()
     rng = seeded_rng(seed, 0x717)
     samples: dict[int, list[float]] = {n: [] for n in hop_counts}
+    for epoch in shell1_epochs(num_epochs, seed):
+        users = user_sample_points(rng, users_per_epoch)
+        per_epoch = epoch_rtt_samples(epoch, users, hop_counts)
+        for n in hop_counts:
+            samples[n].extend(per_epoch[n])
+    return samples
+
+
+def epoch_rtt_samples(
+    epoch: float,
+    users: list[GeoPoint],
+    hop_counts: tuple[int, ...] = HOP_COUNTS,
+) -> dict[int, list[float]]:
+    """One epoch's vectorised RTT pass (the unit of sharded execution)."""
+    constellation = shell1_constellation()
+    snapshot = shell1_snapshot(epoch)
     max_hops = max(hop_counts)
     hop_array = np.asarray(hop_counts)
-
-    for epoch in shell1_epochs(num_epochs, seed):
-        snapshot = shell1_snapshot(epoch)
-        users = user_sample_points(rng, users_per_epoch)
-        access_idx, slant_km = nearest_visible_satellites(
-            constellation, users, epoch
-        )
-        access_ms = access_latency_ms_batch(slant_km)
-        unique_access, inverse = np.unique(access_idx, return_inverse=True)
-        ladders = fastcore.hop_ladder_batch(snapshot.core, unique_access, max_hops)
-        # (user, hop-count) RTT matrix; NaN where no satellite sits at
-        # exactly n hops (never for a connected +Grid).
-        rtts = (
-            2.0 * (access_ms[:, None] + ladders[inverse][:, hop_array])
-            + CDN_SERVER_THINK_TIME_MS
-        )
-        for j, n in enumerate(hop_counts):
-            samples[n].extend(float(v) for v in rtts[:, j] if not np.isnan(v))
-    return samples
+    access_idx, slant_km = nearest_visible_satellites(constellation, users, epoch)
+    access_ms = access_latency_ms_batch(slant_km)
+    unique_access, inverse = np.unique(access_idx, return_inverse=True)
+    ladders = fastcore.hop_ladder_batch(snapshot.core, unique_access, max_hops)
+    # (user, hop-count) RTT matrix; NaN where no satellite sits at
+    # exactly n hops (never for a connected +Grid).
+    rtts = (
+        2.0 * (access_ms[:, None] + ladders[inverse][:, hop_array])
+        + CDN_SERVER_THINK_TIME_MS
+    )
+    return {
+        n: [float(v) for v in rtts[:, j] if not np.isnan(v)]
+        for j, n in enumerate(hop_counts)
+    }
 
 
 def access_latency_ms_batch(slant_range_km: np.ndarray) -> np.ndarray:
@@ -120,6 +132,60 @@ def run(
         spacecdn_rtts_ms=spacecdn_rtt_samples(users_per_epoch, num_epochs, seed=seed),
         starlink_rtts_ms=dataset.all_rtts_pooled(STARLINK),
         terrestrial_rtts_ms=dataset.all_rtts_pooled(TERRESTRIAL),
+    )
+
+
+def build_plan(
+    seed: int = DEFAULT_SEED,
+    users_per_epoch: int = 20,
+    num_epochs: int = 5,
+) -> ExperimentPlan:
+    """Sharded Fig. 7: one shard per epoch plus one for the AIM baselines.
+
+    Each epoch shard draws its users from a seed-addressed substream
+    (``seeded_rng(seed, 0x717, epoch_index)``) so it is a pure function of
+    (config, shard id) — recomputable in any order after a crash.
+    """
+    if users_per_epoch < 1 or num_epochs < 1:
+        raise ConfigurationError("users_per_epoch and num_epochs must be >= 1")
+    epoch_ids = tuple(f"epoch-{i:04d}" for i in range(num_epochs))
+
+    def run_shard(shard_id: str) -> dict:
+        if shard_id == "aim":
+            dataset = aim_dataset(seed)
+            return {
+                "starlink": dataset.all_rtts_pooled(STARLINK),
+                "terrestrial": dataset.all_rtts_pooled(TERRESTRIAL),
+            }
+        index = epoch_ids.index(shard_id)
+        epoch = shell1_epochs(num_epochs, seed)[index]
+        users = user_sample_points(seeded_rng(seed, 0x717, index), users_per_epoch)
+        per_epoch = epoch_rtt_samples(epoch, users)
+        return {"samples": [[n, per_epoch[n]] for n in HOP_COUNTS]}
+
+    def merge(payloads: dict) -> Figure7Result:
+        samples: dict[int, list[float]] = {n: [] for n in HOP_COUNTS}
+        for shard_id in epoch_ids:
+            for n, values in payloads[shard_id]["samples"]:
+                samples[int(n)].extend(values)
+        return Figure7Result(
+            spacecdn_rtts_ms=samples,
+            starlink_rtts_ms=payloads["aim"]["starlink"],
+            terrestrial_rtts_ms=payloads["aim"]["terrestrial"],
+        )
+
+    return ExperimentPlan(
+        experiment="figure7",
+        config={
+            "experiment": "figure7",
+            "seed": seed,
+            "users_per_epoch": users_per_epoch,
+            "num_epochs": num_epochs,
+        },
+        shard_ids=("aim",) + epoch_ids,
+        run_shard=run_shard,
+        merge=merge,
+        format=format_result,
     )
 
 

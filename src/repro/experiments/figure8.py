@@ -20,7 +20,9 @@ from repro.experiments.common import (
     shell1_epochs,
     shell1_snapshot,
 )
+from repro.geo.coordinates import GeoPoint
 from repro.measurements.aim import TERRESTRIAL
+from repro.runner.shards import ExperimentPlan
 from repro.simulation.sampler import seeded_rng, user_sample_points
 from repro.spacecdn.dutycycle import DutyCycleLatencyModel, DutyCycleScheduler
 
@@ -57,26 +59,14 @@ def run(
     """Regenerate Fig. 8: latency vs duty-cycle cache fraction."""
     if users_per_epoch < 1 or num_epochs < 1:
         raise ConfigurationError("users_per_epoch and num_epochs must be >= 1")
-    constellation = shell1_constellation()
     rng = seeded_rng(seed, 0xF18)
 
     samples: dict[float, list[float]] = {f: [] for f in fractions}
     for epoch in shell1_epochs(num_epochs, seed):
-        snapshot = shell1_snapshot(epoch)
         users = user_sample_points(rng, users_per_epoch)
+        per_epoch = epoch_fraction_samples(epoch, users, fractions, seed)
         for fraction in fractions:
-            model = DutyCycleLatencyModel(
-                snapshot=snapshot,
-                scheduler=DutyCycleScheduler(
-                    total_satellites=len(constellation),
-                    cache_fraction=fraction,
-                    seed=seed,
-                ),
-            )
-            one_way = model.one_way_ms_batch(users)
-            samples[fraction].extend(
-                float(v) for v in 2.0 * one_way + CDN_SERVER_THINK_TIME_MS
-            )
+            samples[fraction].extend(per_epoch[fraction])
 
     dataset = aim_dataset(seed)
     terrestrial_median = median_or_nan(dataset.all_rtts(TERRESTRIAL))
@@ -84,6 +74,86 @@ def run(
         rtt_summaries={f: summarize(s) for f, s in samples.items()},
         rtt_samples_ms=samples,
         terrestrial_median_ms=terrestrial_median,
+    )
+
+
+def epoch_fraction_samples(
+    epoch: float,
+    users: list[GeoPoint],
+    fractions: tuple[float, ...],
+    seed: int,
+) -> dict[float, list[float]]:
+    """One epoch's RTT samples per cache fraction (the sharding unit)."""
+    constellation = shell1_constellation()
+    snapshot = shell1_snapshot(epoch)
+    samples: dict[float, list[float]] = {}
+    for fraction in fractions:
+        model = DutyCycleLatencyModel(
+            snapshot=snapshot,
+            scheduler=DutyCycleScheduler(
+                total_satellites=len(constellation),
+                cache_fraction=fraction,
+                seed=seed,
+            ),
+        )
+        one_way = model.one_way_ms_batch(users)
+        samples[fraction] = [
+            float(v) for v in 2.0 * one_way + CDN_SERVER_THINK_TIME_MS
+        ]
+    return samples
+
+
+def build_plan(
+    seed: int = DEFAULT_SEED,
+    users_per_epoch: int = 20,
+    num_epochs: int = 4,
+    fractions: tuple[float, ...] = CACHE_FRACTIONS,
+) -> ExperimentPlan:
+    """Sharded Fig. 8: one shard per epoch plus the terrestrial reference.
+
+    Epoch shards draw users from ``seeded_rng(seed, 0xF18, epoch_index)``
+    so each is recomputable in isolation after a crash or preemption.
+    """
+    if users_per_epoch < 1 or num_epochs < 1:
+        raise ConfigurationError("users_per_epoch and num_epochs must be >= 1")
+    epoch_ids = tuple(f"epoch-{i:04d}" for i in range(num_epochs))
+
+    def run_shard(shard_id: str) -> dict:
+        if shard_id == "aim":
+            dataset = aim_dataset(seed)
+            return {
+                "terrestrial_median": median_or_nan(dataset.all_rtts(TERRESTRIAL))
+            }
+        index = epoch_ids.index(shard_id)
+        epoch = shell1_epochs(num_epochs, seed)[index]
+        users = user_sample_points(seeded_rng(seed, 0xF18, index), users_per_epoch)
+        per_epoch = epoch_fraction_samples(epoch, users, fractions, seed)
+        return {"samples": [[f, per_epoch[f]] for f in fractions]}
+
+    def merge(payloads: dict) -> Figure8Result:
+        samples: dict[float, list[float]] = {f: [] for f in fractions}
+        for shard_id in epoch_ids:
+            for fraction, values in payloads[shard_id]["samples"]:
+                samples[float(fraction)].extend(values)
+        return Figure8Result(
+            rtt_summaries={f: summarize(s) for f, s in samples.items()},
+            rtt_samples_ms=samples,
+            terrestrial_median_ms=payloads["aim"]["terrestrial_median"],
+        )
+
+    return ExperimentPlan(
+        experiment="figure8",
+        config={
+            "experiment": "figure8",
+            "seed": seed,
+            "users_per_epoch": users_per_epoch,
+            "num_epochs": num_epochs,
+            "fractions": list(fractions),
+        },
+        shard_ids=("aim",) + epoch_ids,
+        run_shard=run_shard,
+        merge=merge,
+        format=format_result,
     )
 
 

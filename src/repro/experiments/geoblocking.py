@@ -21,6 +21,7 @@ from repro.geo.datasets import (
     country_by_iso2,
     starlink_covered_countries,
 )
+from repro.runner.shards import ExperimentPlan
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,34 @@ def run() -> GeoblockResult:
             country.iso2, city.lat_deg, city.lon_deg
         ).iso2
     return GeoblockResult(misblocked=misblocked, exit_countries=exits)
+
+
+def build_plan() -> ExperimentPlan:
+    """Sharded geo-blocking check: a single shard (the experiment is one
+    cheap deterministic pass), still checkpointed like every other run."""
+
+    def run_shard(shard_id: str) -> dict:
+        result = run()
+        return {
+            "misblocked": result.misblocked,
+            "exit_countries": result.exit_countries,
+        }
+
+    def merge(payloads: dict) -> GeoblockResult:
+        payload = payloads["all"]
+        return GeoblockResult(
+            misblocked={k: bool(v) for k, v in payload["misblocked"].items()},
+            exit_countries=dict(payload["exit_countries"]),
+        )
+
+    return ExperimentPlan(
+        experiment="geoblocking",
+        config={"experiment": "geoblocking"},
+        shard_ids=("all",),
+        run_shard=run_shard,
+        merge=merge,
+        format=format_result,
+    )
 
 
 def format_result(result: GeoblockResult) -> str:

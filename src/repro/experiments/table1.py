@@ -12,9 +12,15 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import format_table
 from repro.errors import ConfigurationError
-from repro.experiments.common import DEFAULT_SEED, DEFAULT_TESTS_PER_CITY, aim_dataset
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    DEFAULT_TESTS_PER_CITY,
+    aim_dataset,
+    country_aim_dataset,
+)
 from repro.geo.datasets import country_by_iso2
 from repro.measurements.aim import STARLINK, TERRESTRIAL
+from repro.runner.shards import ExperimentPlan
 
 # The 11 countries of the paper's Table 1, in its row order.
 TABLE1_COUNTRIES: tuple[str, ...] = (
@@ -85,6 +91,64 @@ def run(
             raise ConfigurationError(f"no terrestrial tests generated for {iso2}")
         rows.append(row)
     return Table1Result(rows=tuple(rows))
+
+
+def run_country(
+    iso2: str,
+    seed: int = DEFAULT_SEED,
+    tests_per_city: int = DEFAULT_TESTS_PER_CITY,
+) -> Table1Row:
+    """One country's row from its seed-addressed per-country AIM batch."""
+    dataset = country_aim_dataset(iso2, seed, tests_per_city)
+    country = country_by_iso2(iso2)
+    row = Table1Row(
+        iso2=iso2,
+        country=country.name,
+        terrestrial_distance_km=dataset.mean_distance_km(iso2, TERRESTRIAL),
+        terrestrial_min_rtt_ms=dataset.min_rtt_ms(iso2, TERRESTRIAL),
+        starlink_distance_km=dataset.mean_distance_km(iso2, STARLINK),
+        starlink_min_rtt_ms=dataset.min_rtt_ms(iso2, STARLINK),
+    )
+    if row.terrestrial_distance_km != row.terrestrial_distance_km:  # NaN guard
+        raise ConfigurationError(f"no terrestrial tests generated for {iso2}")
+    return row
+
+
+def build_plan(
+    seed: int = DEFAULT_SEED, tests_per_city: int = DEFAULT_TESTS_PER_CITY
+) -> ExperimentPlan:
+    """Sharded Table 1: one shard per country of the paper's table."""
+    shard_ids = tuple(f"country-{iso2}" for iso2 in TABLE1_COUNTRIES)
+
+    def run_shard(shard_id: str) -> dict:
+        iso2 = TABLE1_COUNTRIES[shard_ids.index(shard_id)]
+        row = run_country(iso2, seed, tests_per_city)
+        return {
+            "iso2": row.iso2,
+            "country": row.country,
+            "terrestrial_distance_km": row.terrestrial_distance_km,
+            "terrestrial_min_rtt_ms": row.terrestrial_min_rtt_ms,
+            "starlink_distance_km": row.starlink_distance_km,
+            "starlink_min_rtt_ms": row.starlink_min_rtt_ms,
+        }
+
+    def merge(payloads: dict) -> Table1Result:
+        return Table1Result(
+            rows=tuple(Table1Row(**payloads[shard_id]) for shard_id in shard_ids)
+        )
+
+    return ExperimentPlan(
+        experiment="table1",
+        config={
+            "experiment": "table1",
+            "seed": seed,
+            "tests_per_city": tests_per_city,
+        },
+        shard_ids=shard_ids,
+        run_shard=run_shard,
+        merge=merge,
+        format=format_result,
+    )
 
 
 def format_result(result: Table1Result) -> str:

@@ -3,6 +3,12 @@
 Serialises the synthetic AIM dataset and NetMet records to CSV and JSON so
 downstream analyses can run outside this package, and loads them back for
 round-trip workflows.
+
+All writers are crash-safe (:mod:`repro.atomicio`): a process killed
+mid-export can never leave a truncated CSV/JSON under the destination
+name. All readers raise :class:`~repro.errors.DatasetError` — never a bare
+``ValueError``/``KeyError``/``JSONDecodeError`` — carrying the file path
+and the offending row number.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import json
 from dataclasses import asdict, fields
 from pathlib import Path
 
+from repro.atomicio import atomic_open, atomic_write_text
 from repro.errors import DatasetError
 from repro.measurements.aim import AimDataset, SpeedTest
 from repro.measurements.netmet import PageFetchMetrics
@@ -28,9 +35,8 @@ _SPEEDTEST_FLOATS = {
 
 
 def write_aim_csv(dataset: AimDataset, path: str | Path) -> int:
-    """Write the dataset as CSV; returns the number of rows written."""
-    path = Path(path)
-    with path.open("w", newline="") as handle:
+    """Atomically write the dataset as CSV; returns the rows written."""
+    with atomic_open(path, newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=_SPEEDTEST_FIELDS)
         writer.writeheader()
         for test in dataset.tests:
@@ -50,18 +56,22 @@ def read_aim_csv(path: str | Path) -> AimDataset:
             raise DatasetError(
                 f"unexpected CSV header in {path}: {reader.fieldnames}"
             )
-        for row in reader:
-            for key in _SPEEDTEST_FLOATS:
-                row[key] = float(row[key])
-            dataset.tests.append(SpeedTest(**row))
+        for row_number, row in enumerate(reader, start=2):  # 1 is the header
+            try:
+                for key in _SPEEDTEST_FLOATS:
+                    row[key] = float(row[key])
+                dataset.tests.append(SpeedTest(**row))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise DatasetError(
+                    f"malformed row {row_number} in {path}: {exc}"
+                ) from exc
     return dataset
 
 
 def write_aim_json(dataset: AimDataset, path: str | Path) -> int:
-    """Write the dataset as a JSON array; returns the row count."""
-    path = Path(path)
+    """Atomically write the dataset as a JSON array; returns the row count."""
     payload = [asdict(test) for test in dataset.tests]
-    path.write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1))
     return len(payload)
 
 
@@ -77,18 +87,30 @@ def read_aim_json(path: str | Path) -> AimDataset:
     if not isinstance(payload, list):
         raise DatasetError(f"expected a JSON array in {path}")
     dataset = AimDataset()
-    for row in payload:
+    for row_number, row in enumerate(payload, start=1):
+        if not isinstance(row, dict):
+            raise DatasetError(
+                f"record {row_number} in {path} is not a JSON object"
+            )
         missing = set(_SPEEDTEST_FIELDS) - set(row)
         if missing:
-            raise DatasetError(f"record missing fields {sorted(missing)} in {path}")
-        dataset.tests.append(SpeedTest(**{k: row[k] for k in _SPEEDTEST_FIELDS}))
+            raise DatasetError(
+                f"record {row_number} in {path} missing fields {sorted(missing)}"
+            )
+        try:
+            dataset.tests.append(
+                SpeedTest(**{k: row[k] for k in _SPEEDTEST_FIELDS})
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise DatasetError(
+                f"malformed record {row_number} in {path}: {exc}"
+            ) from exc
     return dataset
 
 
 def write_netmet_csv(records: list[PageFetchMetrics], path: str | Path) -> int:
-    """Write NetMet page-fetch records as CSV; returns the row count."""
-    path = Path(path)
-    with path.open("w", newline="") as handle:
+    """Atomically write NetMet page-fetch records as CSV; returns the count."""
+    with atomic_open(path, newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=_NETMET_FIELDS)
         writer.writeheader()
         for record in records:

@@ -1,0 +1,28 @@
+"""Crash-safe, resumable experiment execution.
+
+Every experiment declares its work as deterministic, seed-addressed shards
+(:class:`~repro.runner.shards.ExperimentPlan`); the
+:class:`~repro.runner.engine.ExperimentRunner` executes the plan under a
+run directory with per-shard atomic checkpoints, a manifest guarding
+``--resume`` against mixing incompatible runs, wall-clock deadlines, retry
+with backoff, and graceful SIGINT/SIGTERM handling. A run killed after *k*
+shards resumes with the remaining shards and produces output byte-identical
+to an uninterrupted run with the same seed.
+"""
+
+from repro.runner.deadline import Deadline, shard_watchdog
+from repro.runner.engine import ExperimentRunner, RunnerOptions
+from repro.runner.interrupt import InterruptGuard
+from repro.runner.shards import ExperimentPlan
+from repro.runner.store import CheckpointStore, build_manifest
+
+__all__ = [
+    "CheckpointStore",
+    "Deadline",
+    "ExperimentPlan",
+    "ExperimentRunner",
+    "InterruptGuard",
+    "RunnerOptions",
+    "build_manifest",
+    "shard_watchdog",
+]

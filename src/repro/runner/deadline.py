@@ -1,0 +1,100 @@
+"""Wall-clock budgets: whole-run deadline and per-shard watchdog.
+
+The run deadline is checked between shards and, together with the
+per-shard budget, enforced *during* a shard via ``SIGALRM`` (when running
+on the main thread of a platform that has it) so a hung shard cannot wedge
+the run. Off the main thread the watchdog degrades to the between-shard
+checks — still deadline-correct for runs whose shards terminate.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import DeadlineExceededError, RunnerError, ShardTimeoutError
+
+
+@dataclass
+class Deadline:
+    """A whole-run wall-clock budget measured on the monotonic clock."""
+
+    budget_s: float | None
+    _started: float = field(default_factory=time.monotonic)
+
+    def __post_init__(self) -> None:
+        if self.budget_s is not None and self.budget_s <= 0:
+            raise RunnerError(f"deadline must be positive, got {self.budget_s}")
+
+    def remaining_s(self) -> float | None:
+        """Seconds left, or ``None`` for an unbounded run."""
+        if self.budget_s is None:
+            return None
+        return self.budget_s - (time.monotonic() - self._started)
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceededError` once the budget is spent."""
+        remaining = self.remaining_s()
+        if remaining is not None and remaining <= 0:
+            raise DeadlineExceededError(
+                f"run deadline of {self.budget_s:g}s exceeded; completed "
+                f"shards are checkpointed — resume with --resume and a new "
+                f"deadline"
+            )
+
+
+def _alarm_usable() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def shard_watchdog(
+    shard_id: str, shard_budget_s: float | None, deadline: Deadline
+) -> Iterator[None]:
+    """Interrupt the enclosed shard when a wall-clock budget expires.
+
+    The alarm fires at the *sooner* of the per-shard budget and the run
+    deadline's remainder; which one was sooner decides the exception —
+    :class:`ShardTimeoutError` (retryable) vs
+    :class:`DeadlineExceededError` (terminal).
+    """
+    remaining = deadline.remaining_s()
+    candidates = [
+        (budget, exc)
+        for budget, exc in (
+            (shard_budget_s, ShardTimeoutError),
+            (remaining, DeadlineExceededError),
+        )
+        if budget is not None
+    ]
+    if not candidates or not _alarm_usable():
+        yield
+        return
+    budget, exc_type = min(candidates, key=lambda pair: pair[0])
+
+    def _on_alarm(signum: int, frame: object) -> None:
+        if exc_type is ShardTimeoutError:
+            raise ShardTimeoutError(
+                f"shard {shard_id!r} exceeded its {budget:g}s budget"
+            )
+        raise DeadlineExceededError(
+            f"run deadline of {deadline.budget_s:g}s expired during shard "
+            f"{shard_id!r}; completed shards are checkpointed"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    # A deadline that already expired still gets a real (tiny) alarm so the
+    # pending-shard path raises from one place.
+    signal.setitimer(signal.ITIMER_REAL, max(budget, 1e-3))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,146 @@
+"""The runner itself: execute a shard plan crash-safely under a run dir.
+
+Execution order is the plan's declared shard order, but nothing depends on
+it: shards are order-independent by contract, completed shards are skipped
+on resume, and the merge always reads every payload back from disk — so an
+uninterrupted run and any interrupt/resume chain with the same seed emit
+byte-identical results.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import (
+    CheckpointError,
+    DeadlineExceededError,
+    RunInterruptedError,
+    RunnerError,
+    ShardExhaustedError,
+    ShardTimeoutError,
+)
+from repro.faults.retry import RetryPolicy
+from repro.runner.deadline import Deadline, shard_watchdog
+from repro.runner.interrupt import InterruptGuard
+from repro.runner.shards import ExperimentPlan
+from repro.runner.store import CheckpointStore, build_manifest, check_resume_compatible
+
+DEFAULT_RETRY_POLICY = RetryPolicy(
+    max_attempts=3, backoff_base_ms=100.0, backoff_cap_ms=2000.0
+)
+"""Shard retries reuse the fault-layer policy; here the backoff is *real*
+sleep (the harness lives in wall-clock time, unlike the simulated clients)."""
+
+
+@dataclass(frozen=True)
+class RunnerOptions:
+    """Knobs of one runner invocation (all optional)."""
+
+    resume: bool = False
+    deadline_s: float | None = None
+    shard_deadline_s: float | None = None
+    max_shards: int | None = None
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise RunnerError(f"--deadline-s must be positive, got {self.deadline_s}")
+        if self.shard_deadline_s is not None and self.shard_deadline_s <= 0:
+            raise RunnerError(
+                f"--shard-deadline-s must be positive, got {self.shard_deadline_s}"
+            )
+        if self.max_shards is not None and self.max_shards < 1:
+            raise RunnerError(f"--max-shards must be >= 1, got {self.max_shards}")
+
+
+@dataclass
+class ExperimentRunner:
+    """Executes one :class:`ExperimentPlan` under a checkpointed run dir."""
+
+    plan: ExperimentPlan
+    run_dir: str
+    options: RunnerOptions = field(default_factory=RunnerOptions)
+
+    def execute(self) -> str:
+        """Run (or resume) to completion; returns the formatted result.
+
+        Raises :class:`RunInterruptedError`, :class:`DeadlineExceededError`
+        or :class:`ShardExhaustedError` on the corresponding early stops;
+        in every case all completed shards are already flushed to disk.
+        """
+        store = CheckpointStore(self.run_dir)
+        self._reconcile_manifest(store)
+        deadline = Deadline(self.options.deadline_s)
+        done = store.completed_shards(self.plan.shard_ids)
+        pending = [sid for sid in self.plan.shard_ids if sid not in done]
+
+        executed = 0
+        with InterruptGuard() as guard:
+            for shard_id in pending:
+                guard.check()
+                deadline.check()
+                if (
+                    self.options.max_shards is not None
+                    and executed >= self.options.max_shards
+                ):
+                    raise RunInterruptedError(
+                        f"stopping after --max-shards={self.options.max_shards} "
+                        f"({len(done) + executed}/{len(self.plan.shard_ids)} "
+                        f"shards on disk); resume with --resume"
+                    )
+                payload = self._run_shard_with_retry(shard_id, deadline, guard)
+                store.write_shard(shard_id, payload)
+                executed += 1
+
+        # Merge strictly from disk so an uninterrupted run and a resumed
+        # one traverse the identical bytes.
+        payloads = store.completed_shards(self.plan.shard_ids)
+        missing = [sid for sid in self.plan.shard_ids if sid not in payloads]
+        if missing:
+            raise CheckpointError(
+                f"checkpoints vanished between write and merge: {missing}"
+            )
+        text = self.plan.format(self.plan.merge(payloads))
+        store.write_result_text(text)
+        return text
+
+    def _reconcile_manifest(self, store: CheckpointStore) -> None:
+        manifest = build_manifest(self.plan)
+        existing = store.load_manifest()
+        if existing is None:
+            store.write_manifest(manifest)
+        elif not self.options.resume:
+            raise RunnerError(
+                f"run directory {store.run_dir} already holds a "
+                f"{existing.get('experiment', '?')} run; pass --resume to "
+                f"continue it or choose a fresh --out-dir"
+            )
+        else:
+            check_resume_compatible(existing, manifest)
+
+    def _run_shard_with_retry(
+        self, shard_id: str, deadline: Deadline, guard: InterruptGuard
+    ) -> Any:
+        policy = self.options.retry_policy
+        last_error: Exception | None = None
+        for attempt in range(1, policy.max_attempts + 1):
+            guard.check()
+            deadline.check()
+            try:
+                with shard_watchdog(shard_id, self.options.shard_deadline_s, deadline):
+                    return self.plan.run_shard(shard_id)
+            except (DeadlineExceededError, RunInterruptedError):
+                raise  # terminal: budget spent / operator asked to stop
+            except ShardTimeoutError as exc:
+                last_error = exc  # hung once; worth another attempt
+            except Exception as exc:  # noqa: BLE001 - retry any shard failure
+                last_error = exc
+            if attempt < policy.max_attempts:
+                self.options.sleep(policy.backoff_ms(attempt) / 1000.0)
+        raise ShardExhaustedError(
+            f"shard {shard_id!r} failed {policy.max_attempts} attempt(s); "
+            f"last error: {last_error}"
+        ) from last_error

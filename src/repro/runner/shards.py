@@ -1,0 +1,47 @@
+"""The shard model: experiments as deterministic, seed-addressed work units.
+
+A shard is the unit of checkpointing: small enough that losing one to a
+crash is cheap, large enough that the per-shard store overhead is noise.
+Each experiment module exposes ``build_plan(...)`` returning an
+:class:`ExperimentPlan` whose shards are pure functions of (configuration,
+shard id) — never of execution order or wall-clock time — so any subset can
+be recomputed in any order and a resumed run converges on the same bytes.
+
+Shard payloads must be JSON-serialisable; ``json`` round-trips Python
+floats exactly (shortest-repr), so merging re-read payloads is bit-equal to
+merging in-memory ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import RunnerError
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """A sharded experiment: ids, per-shard work, and the merge step.
+
+    ``config`` is the complete JSON-serialisable parameterisation (seed
+    included); its canonical hash keys the run manifest. ``run_shard`` maps
+    a shard id to a JSON-serialisable payload; ``merge`` folds the full
+    ``{shard_id: payload}`` mapping into the experiment's result object,
+    which ``format`` renders exactly like the monolithic path.
+    """
+
+    experiment: str
+    config: dict[str, Any]
+    shard_ids: tuple[str, ...]
+    run_shard: Callable[[str], Any] = field(repr=False)
+    merge: Callable[[dict[str, Any]], Any] = field(repr=False)
+    format: Callable[[Any], str] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.shard_ids:
+            raise RunnerError(f"experiment {self.experiment!r} declared no shards")
+        if len(set(self.shard_ids)) != len(self.shard_ids):
+            raise RunnerError(
+                f"experiment {self.experiment!r} declared duplicate shard ids"
+            )

@@ -14,6 +14,22 @@ ALL_ERRORS = (
     errors.ContentNotFoundError,
     errors.DatasetError,
     errors.PlacementError,
+    errors.RunnerError,
+    errors.CheckpointError,
+    errors.ManifestMismatchError,
+    errors.DeadlineExceededError,
+    errors.ShardTimeoutError,
+    errors.ShardExhaustedError,
+    errors.RunInterruptedError,
+)
+
+RUNNER_ERRORS = (
+    errors.CheckpointError,
+    errors.ManifestMismatchError,
+    errors.DeadlineExceededError,
+    errors.ShardTimeoutError,
+    errors.ShardExhaustedError,
+    errors.RunInterruptedError,
 )
 
 
@@ -29,6 +45,10 @@ class TestHierarchy:
 
     def test_repro_error_is_exception_not_base_exception_only(self):
         assert issubclass(errors.ReproError, Exception)
+
+    @pytest.mark.parametrize("error_cls", RUNNER_ERRORS)
+    def test_runner_errors_derive_from_runner_error(self, error_cls):
+        assert issubclass(error_cls, errors.RunnerError)
 
     def test_library_raises_only_repro_errors_for_bad_input(self):
         """A caller wrapping library calls in ``except ReproError`` must not

@@ -5,8 +5,11 @@ import json
 import pytest
 
 from repro.cli import (
+    EXIT_DEADLINE,
     EXIT_ERROR,
     EXIT_FAULT_CONFIG,
+    EXIT_INTERRUPTED,
+    EXIT_SHARD_FAILED,
     EXIT_UNAVAILABLE,
     build_parser,
     main,
@@ -47,6 +50,20 @@ class TestCsvRoundTrip:
         with pytest.raises(DatasetError):
             read_aim_csv(path)
 
+    def test_malformed_row_reports_path_and_row_number(self, dataset, tmp_path):
+        path = tmp_path / "aim.csv"
+        write_aim_csv(dataset, path)
+        lines = path.read_text().splitlines(keepends=True)
+        fields = lines[3].rstrip("\r\n").split(",")
+        fields[5] = "not-a-float"
+        lines[3] = ",".join(fields) + "\r\n"
+        path.write_text("".join(lines))
+        with pytest.raises(DatasetError) as excinfo:
+            read_aim_csv(path)
+        message = str(excinfo.value)
+        assert "row 4" in message
+        assert str(path) in message
+
 
 class TestJsonRoundTrip:
     def test_round_trip(self, dataset, tmp_path):
@@ -71,8 +88,11 @@ class TestJsonRoundTrip:
     def test_missing_field_raises(self, tmp_path):
         path = tmp_path / "partial.json"
         path.write_text(json.dumps([{"city": "Madrid"}]))
-        with pytest.raises(DatasetError):
+        with pytest.raises(DatasetError) as excinfo:
             read_aim_json(path)
+        message = str(excinfo.value)
+        assert "record 1" in message
+        assert str(path) in message
 
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(DatasetError):
@@ -201,7 +221,33 @@ class TestExitCodes:
         assert "content unavailable" in capsys.readouterr().err
 
     def test_generic_repro_error_still_exits_2(self, capsys):
-        # An invalid failure fraction is a plain ConfigurationError.
+        # An invalid request count is a plain ConfigurationError.
+        code = main(
+            [
+                "run", "chaos",
+                "--shell", "small",
+                "--requests", "0",
+                "--fractions", "0.0",
+            ]
+        )
+        assert code == EXIT_ERROR == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_non_numeric_fraction_exits_4(self, capsys):
+        code = main(
+            [
+                "run", "chaos",
+                "--shell", "small",
+                "--requests", "5",
+                "--fractions", "0.3,banana",
+            ]
+        )
+        assert code == EXIT_FAULT_CONFIG == 4
+        err = capsys.readouterr().err
+        assert "bad fault configuration" in err
+        assert "banana" in err
+
+    def test_out_of_range_fraction_exits_4(self, capsys):
         code = main(
             [
                 "run", "chaos",
@@ -210,5 +256,28 @@ class TestExitCodes:
                 "--fractions", "1.5",
             ]
         )
+        assert code == EXIT_FAULT_CONFIG == 4
+        assert "within [0, 1]" in capsys.readouterr().err
+
+    def test_empty_fractions_exits_4(self, capsys):
+        code = main(
+            ["run", "chaos", "--shell", "small", "--fractions", ","]
+        )
+        assert code == EXIT_FAULT_CONFIG == 4
+        assert "at least one value" in capsys.readouterr().err
+
+    def test_runner_flags_require_out_dir(self, capsys):
+        code = main(["run", "figure8", "--resume"])
         assert code == EXIT_ERROR == 2
-        assert "error" in capsys.readouterr().err
+        assert "--resume requires --out-dir" in capsys.readouterr().err
+
+    def test_new_exit_codes_are_distinct(self):
+        codes = {
+            EXIT_ERROR,
+            EXIT_UNAVAILABLE,
+            EXIT_FAULT_CONFIG,
+            EXIT_INTERRUPTED,
+            EXIT_DEADLINE,
+            EXIT_SHARD_FAILED,
+        }
+        assert codes == {2, 3, 4, 5, 6, 7}
