@@ -15,6 +15,11 @@ from dataclasses import dataclass, field
 
 from repro.cdn.content import ContentObject
 from repro.errors import CacheError
+from repro.obs.recorder import get_recorder
+
+_CACHE_OP_LABELS = {
+    op: (("op", op),) for op in ("hit", "miss", "insert", "evict")
+}
 
 
 @dataclass
@@ -82,10 +87,15 @@ class Cache(ABC):
     def get(self, object_id: str) -> ContentObject | None:
         """Look an object up, updating hit/miss statistics."""
         obj = self._objects.get(object_id)
+        rec = get_recorder()
         if obj is None:
             self.stats.misses += 1
+            if rec.enabled:
+                rec.inc("repro_cache_ops_total", _CACHE_OP_LABELS["miss"])
             return None
         self.stats.hits += 1
+        if rec.enabled:
+            rec.inc("repro_cache_ops_total", _CACHE_OP_LABELS["hit"])
         self._on_hit(object_id)
         return obj
 
@@ -118,6 +128,15 @@ class Cache(ABC):
         self.used_bytes += obj.size_bytes
         self._on_insert(obj.object_id)
         self.stats.insertions += 1
+        rec = get_recorder()
+        if rec.enabled:
+            rec.inc("repro_cache_ops_total", _CACHE_OP_LABELS["insert"])
+            if evicted:
+                rec.inc(
+                    "repro_cache_ops_total",
+                    _CACHE_OP_LABELS["evict"],
+                    float(len(evicted)),
+                )
         return evicted
 
     def remove(self, object_id: str) -> bool:

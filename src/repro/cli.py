@@ -6,12 +6,21 @@ Usage::
     python -m repro run table1 --seed 7 --tests-per-city 30
     python -m repro run figure7 --users 20 --epochs 5
     python -m repro run figure8 --out-dir runs/f8 --resume --deadline-s 600
+    python -m repro run chaos --obs --out-dir runs/chaos
+    python -m repro obs summarize runs/chaos/obs-trace.jsonl
     python -m repro aim --seed 7 --tests-per-city 30 --format csv --out aim.csv
 
 Without ``--out-dir`` an experiment runs monolithically in memory, exactly
 as it always has. With ``--out-dir`` it runs through the crash-safe
 :mod:`repro.runner`: sharded, checkpointed, resumable with ``--resume``,
 and bounded by ``--deadline-s`` / ``--shard-deadline-s``.
+
+Observability is off by default and the default path is byte-identical to
+an uninstrumented run. ``--obs`` (or either of ``--metrics-out`` /
+``--trace-out``) installs a live :mod:`repro.obs` recorder for the run and
+flushes a Prometheus metrics file plus a JSONL serve-path trace on exit —
+including interrupted exits, through the same atomic-write path as the
+checkpoints, so the artifacts are never truncated.
 
 Exit codes: 0 success; 2 generic error; 3 content unavailable; 4 bad
 fault/experiment configuration; 5 interrupted (checkpoints flushed);
@@ -195,7 +204,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _run_and_print(args: argparse.Namespace) -> int:
     if args.out_dir is None:
         for flag, value in (
             ("--resume", args.resume),
@@ -222,6 +231,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ),
     )
     print(runner.execute())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    obs_requested = (
+        args.obs or args.metrics_out is not None or args.trace_out is not None
+    )
+    if not obs_requested:
+        # Observability fully off: the process-global recorder stays the
+        # no-op singleton and every output is byte-identical to the
+        # pre-obs code paths.
+        return _run_and_print(args)
+
+    from pathlib import Path
+
+    from repro.obs import ObsRecorder, recording
+
+    # --obs writes both artifacts (next to the run with --out-dir, else in
+    # the CWD); a bare --metrics-out / --trace-out writes only what was
+    # asked for, so `--metrics-out m.prom` never drops a trace file in CWD.
+    base = Path(args.out_dir) if args.out_dir is not None else Path(".")
+    metrics_path = None
+    if args.metrics_out:
+        metrics_path = Path(args.metrics_out)
+    elif args.obs:
+        metrics_path = base / "obs-metrics.prom"
+    trace_path = None
+    if args.trace_out:
+        trace_path = Path(args.trace_out)
+    elif args.obs:
+        trace_path = base / "obs-trace.jsonl"
+    recorder = ObsRecorder()
+    try:
+        with recording(recorder):
+            return _run_and_print(args)
+    finally:
+        # Runs on every exit — success, SIGINT/--max-shards interruption,
+        # deadline — through the same tmp+fsync+rename path as the shard
+        # checkpoints: the artifacts are complete or absent, never torn.
+        for path in (metrics_path, trace_path):
+            if path is not None:
+                path.parent.mkdir(parents=True, exist_ok=True)
+        recorder.flush(metrics_path=metrics_path, trace_path=trace_path)
+        written = [
+            f"{kind} -> {path}"
+            for kind, path in (("metrics", metrics_path), ("trace", trace_path))
+            if path is not None
+        ]
+        print("obs: " + "; ".join(written), file=sys.stderr)
+
+
+def _cmd_obs_summarize(args: argparse.Namespace) -> int:
+    from repro.obs import summarize_trace_file
+
+    print(summarize_trace_file(args.trace))
     return 0
 
 
@@ -303,7 +367,36 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"stop (exit {EXIT_INTERRUPTED}) after completing this many "
         f"shards; useful for budgeted, incremental runs",
     )
+    run_cmd.add_argument(
+        "--obs",
+        action="store_true",
+        help="record metrics, a serve-path trace, and kernel profiles for "
+        "this run (off by default; the default path is byte-identical)",
+    )
+    run_cmd.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write Prometheus-text metrics here (implies --obs; default "
+        "obs-metrics.prom, under --out-dir when given)",
+    )
+    run_cmd.add_argument(
+        "--trace-out",
+        default=None,
+        help="write the JSONL serve-path trace here (implies --obs; default "
+        "obs-trace.jsonl, under --out-dir when given)",
+    )
     run_cmd.set_defaults(func=_cmd_run)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="inspect observability artifacts from an --obs run"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    summarize_cmd = obs_sub.add_parser(
+        "summarize",
+        help="render per-tier serving and ladder-attempt tables from a trace",
+    )
+    summarize_cmd.add_argument("trace", help="path to an obs-trace.jsonl file")
+    summarize_cmd.set_defaults(func=_cmd_obs_summarize)
 
     aim_cmd = sub.add_parser("aim", help="generate and export the synthetic AIM dataset")
     aim_cmd.add_argument("--seed", type=int, default=7)

@@ -58,6 +58,15 @@ class PlacementError(ReproError):
     """A replica-placement request could not be satisfied."""
 
 
+class ObsError(ReproError):
+    """An observability artifact (metrics, trace) is malformed or unwritable.
+
+    Never raised from the disabled (no-op recorder) path: with
+    observability off the instrumented code cannot fail differently than
+    the uninstrumented code did.
+    """
+
+
 class RunnerError(ReproError):
     """The crash-safe experiment runner could not execute a run."""
 

@@ -29,6 +29,7 @@ from repro.experiments.common import (
 )
 from repro.faults import FaultSchedule, OutageWindow, RetryPolicy
 from repro.geo.datasets import all_cities
+from repro.obs.recorder import get_recorder
 from repro.orbits.walker import Constellation
 from repro.runner.shards import ExperimentPlan
 from repro.simulation.sampler import seeded_rng, user_sample_points
@@ -56,7 +57,9 @@ class ChaosPoint:
 
     fraction: float
     requests: int
-    availability: float
+    availability: float | None
+    """Served share of all requests; ``None`` when the point saw zero
+    requests (no denominator, not a perfect score)."""
     space_hit_ratio: float
     p50_rtt_ms: float
     p99_rtt_ms: float
@@ -203,20 +206,28 @@ def _sweep_point(
 ) -> dict:
     """One failure fraction's raw measurements (inflations are merge-time:
     they compare against the sweep's baseline point)."""
-    constellation = ctx.constellation
-    failed = random_failure_set(
-        len(constellation), fraction, seeded_rng(seed, 0xFA11)
-    )
-    system = SpaceCdnSystem(
-        constellation=constellation,
-        catalog=ctx.catalog,
-        cache_bytes_per_satellite=10**9,
-        fault_schedule=FaultSchedule().add(OutageWindow(satellites=failed)),
-        retry_policy=RetryPolicy(max_attempts=max_attempts),
-    )
-    system.preload(ctx.preload)
-    system.run(ctx.requests, continue_on_unavailable=True)
+    rec = get_recorder()
+    with rec.timer("chaos.sweep_point"):
+        constellation = ctx.constellation
+        failed = random_failure_set(
+            len(constellation), fraction, seeded_rng(seed, 0xFA11)
+        )
+        system = SpaceCdnSystem(
+            constellation=constellation,
+            catalog=ctx.catalog,
+            cache_bytes_per_satellite=10**9,
+            fault_schedule=FaultSchedule().add(OutageWindow(satellites=failed)),
+            retry_policy=RetryPolicy(max_attempts=max_attempts),
+        )
+        system.preload(ctx.preload)
+        system.run(ctx.requests, continue_on_unavailable=True)
     stats = system.stats
+    if rec.enabled and stats.availability is not None:
+        rec.set_gauge(
+            "repro_chaos_availability",
+            stats.availability,
+            (("fraction", f"{fraction:g}"),),
+        )
     p50, p99 = _quantiles(stats.rtt_samples_ms)
     return {
         "fraction": fraction,
@@ -329,13 +340,17 @@ def build_plan(
     )
 
 
+def _fmt_availability(availability: float | None) -> str:
+    return "n/a" if availability is None else f"{availability:.3f}"
+
+
 def format_result(result: ChaosResult) -> str:
     rows = []
     for p in result.points:
         rows.append(
             (
                 f"{p.fraction:.0%}",
-                f"{p.availability:.3f}",
+                _fmt_availability(p.availability),
                 p.p50_rtt_ms,
                 p.p99_rtt_ms,
                 f"{p.p50_inflation:.2f}x",
@@ -360,7 +375,8 @@ def format_result(result: ChaosResult) -> str:
     worst = max(result.points, key=lambda p: p.fraction)
     return table + (
         f"\nshell: {result.shell}; {worst.requests} requests per sweep point"
-        f"\nat {worst.fraction:.0%} failed: availability {worst.availability:.3f}, "
+        f"\nat {worst.fraction:.0%} failed: availability "
+        f"{_fmt_availability(worst.availability)}, "
         f"p99 inflation {worst.p99_inflation:.2f}x, "
         f"{worst.retries} retries / {worst.timeouts} timeouts / "
         f"{worst.unavailable} unavailable"

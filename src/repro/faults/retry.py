@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass
 
 from repro.errors import FaultConfigError
+from repro.obs.recorder import get_recorder
 
 
 @dataclass(frozen=True)
@@ -55,10 +56,15 @@ class RetryPolicy:
         """Simulated backoff after failed attempt ``attempt`` (1-based)."""
         if attempt < 1:
             raise FaultConfigError(f"attempt must be >= 1, got {attempt}")
-        return min(
+        wait_ms = min(
             self.backoff_cap_ms,
             self.backoff_base_ms * self.backoff_multiplier ** (attempt - 1),
         )
+        rec = get_recorder()
+        if rec.enabled:
+            rec.inc("repro_retry_backoff_total")
+            rec.inc("repro_retry_backoff_ms_total", value=wait_ms)
+        return wait_ms
 
     def within_budget(self, rtt_ms: float) -> bool:
         """Whether one attempt's RTT fits the per-attempt budget."""

@@ -1,0 +1,56 @@
+"""Observability for the SpaceCDN stack: metrics, traces, profiles.
+
+Three stdlib-only pillars behind one recorder facade:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  fixed-bucket histograms keyed by label tuples, exported as
+  Prometheus text or JSON through :mod:`repro.atomicio`;
+* :class:`~repro.obs.tracing.TraceBuffer` — span records of the serve
+  path (one span per ``SpaceCdnSystem.serve`` call, one child span per
+  fallback-ladder attempt), flushed as JSONL and summarised by
+  ``repro obs summarize``;
+* :class:`~repro.obs.profiling.ProfileAccumulator` — wall-clock timer
+  contexts around the fastcore kernels, cache plumbing and runner shards.
+
+The process-global default recorder is a no-op: every instrumented call
+site stays permanently wired through the hot paths, and with observability
+disabled (the default) the instrumented code produces byte-identical
+output at indistinguishable cost. Enable it per run::
+
+    from repro import obs
+
+    recorder = obs.ObsRecorder()
+    with obs.recording(recorder):
+        system.run(requests)
+    recorder.flush(metrics_path="metrics.prom", trace_path="trace.jsonl")
+"""
+
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
+from repro.obs.profiling import ProfileAccumulator
+from repro.obs.recorder import (
+    NOOP_RECORDER,
+    NoopRecorder,
+    ObsRecorder,
+    get_recorder,
+    recording,
+    reset_recorder,
+    set_recorder,
+)
+from repro.obs.summarize import summarize_trace, summarize_trace_file
+from repro.obs.tracing import TraceBuffer
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "MetricsRegistry",
+    "ProfileAccumulator",
+    "TraceBuffer",
+    "NOOP_RECORDER",
+    "NoopRecorder",
+    "ObsRecorder",
+    "get_recorder",
+    "set_recorder",
+    "reset_recorder",
+    "recording",
+    "summarize_trace",
+    "summarize_trace_file",
+]

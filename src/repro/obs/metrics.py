@@ -1,0 +1,222 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Series are keyed by ``(name, labels)`` where ``labels`` is a tuple of
+``(key, value)`` pairs, so instrumented call sites can pass pre-built
+constant tuples and pay no allocation on the hot path. Exporters render
+the whole registry as Prometheus text exposition format or as one JSON
+document; both are written crash-safely through :mod:`repro.atomicio`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left
+from pathlib import Path
+
+from repro.atomicio import atomic_write_text
+from repro.errors import ObsError
+
+Labels = tuple[tuple[str, str], ...]
+
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 75.0, 100.0,
+    150.0, 200.0, 300.0, 500.0, 1000.0,
+)
+"""Upper bounds (ms) of the default RTT histogram; +Inf is implicit."""
+
+
+def _check_labels(labels: Labels) -> Labels:
+    for pair in labels:
+        if len(pair) != 2:
+            raise ObsError(f"labels must be (key, value) pairs, got {pair!r}")
+    return labels
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number rendering (integers without a trailing .0)."""
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_string(labels: Labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ObsError("histogram buckets must be a non-empty ascending tuple")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ending at +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolved quantile estimate (upper bound of the hit bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        for bound, cumulative in self.cumulative():
+            if cumulative >= rank:
+                return bound
+        return math.inf  # pragma: no cover - cumulative always reaches count
+
+
+class MetricsRegistry:
+    """All metric series of one recording session."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, Labels], float] = {}
+        self._gauges: dict[tuple[str, Labels], float] = {}
+        self._histograms: dict[tuple[str, Labels], Histogram] = {}
+        self._buckets: dict[str, tuple[float, ...]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, labels: Labels = (), value: float = 1.0) -> None:
+        key = (name, _check_labels(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, labels: Labels = ()) -> None:
+        self._gauges[(name, _check_labels(labels))] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Labels = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        """Record one histogram sample.
+
+        The first observation of a metric name pins its bucket bounds;
+        later observations with different bounds are a configuration error
+        (mixed-bucket series cannot be aggregated).
+        """
+        pinned = self._buckets.setdefault(name, tuple(buckets))
+        if pinned != tuple(buckets):
+            raise ObsError(
+                f"histogram {name!r} was created with buckets {pinned}, "
+                f"got {tuple(buckets)}"
+            )
+        key = (name, _check_labels(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(pinned)
+        histogram.observe(value)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter_value(self, name: str, labels: Labels = ()) -> float:
+        return self._counters.get((name, labels), 0.0)
+
+    def gauge_value(self, name: str, labels: Labels = ()) -> float | None:
+        return self._gauges.get((name, labels))
+
+    def histogram(self, name: str, labels: Labels = ()) -> Histogram | None:
+        return self._histograms.get((name, labels))
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self._counters or self._gauges or self._histograms)
+
+    # -- exporters ---------------------------------------------------------
+
+    def render_prometheus(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        by_kind = (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+        )
+        for kind, series in by_kind:
+            for name in sorted({n for n, _ in series}):
+                lines.append(f"# TYPE {name} {kind}")
+                for (series_name, labels), value in sorted(series.items()):
+                    if series_name == name:
+                        lines.append(
+                            f"{name}{_label_string(labels)} {_format_value(value)}"
+                        )
+        for name in sorted({n for n, _ in self._histograms}):
+            lines.append(f"# TYPE {name} histogram")
+            for (series_name, labels), histogram in sorted(self._histograms.items()):
+                if series_name != name:
+                    continue
+                for bound, cumulative in histogram.cumulative():
+                    le = (("le", _format_value(bound)),)
+                    lines.append(
+                        f"{name}_bucket{_label_string(labels, le)} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{_label_string(labels)} "
+                    f"{_format_value(histogram.total)}"
+                )
+                lines.append(f"{name}_count{_label_string(labels)} {histogram.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self) -> dict:
+        """The whole registry as one JSON-serialisable document."""
+
+        def label_dict(labels: Labels) -> dict[str, str]:
+            return {key: value for key, value in labels}
+
+        return {
+            "counters": [
+                {"name": name, "labels": label_dict(labels), "value": value}
+                for (name, labels), value in sorted(self._counters.items())
+            ],
+            "gauges": [
+                {"name": name, "labels": label_dict(labels), "value": value}
+                for (name, labels), value in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": name,
+                    "labels": label_dict(labels),
+                    "buckets": [
+                        {"le": "+Inf" if math.isinf(b) else b, "count": c}
+                        for b, c in histogram.cumulative()
+                    ],
+                    "sum": histogram.total,
+                    "count": histogram.count,
+                }
+                for (name, labels), histogram in sorted(self._histograms.items())
+            ],
+        }
+
+    def write_prometheus(self, path: str | Path) -> None:
+        """Atomically write the Prometheus text rendering to ``path``."""
+        atomic_write_text(path, self.render_prometheus())
+
+    def write_json(self, path: str | Path) -> None:
+        """Atomically write the JSON rendering to ``path``."""
+        atomic_write_text(path, json.dumps(self.to_json(), indent=1, sort_keys=True))

@@ -1,0 +1,85 @@
+"""Wall-clock profiling hooks: cheap timer contexts keyed by site name.
+
+A *site* is a stable string naming one instrumented code region
+(``"fastcore.latency_batch"``, ``"runner.shard"``, ...). Each site keeps
+call count and total/min/max seconds — enough to answer "where did the
+wall-clock go" for a whole run without a sampling profiler, and cheap
+enough (one ``perf_counter`` pair per call) to leave permanently wired.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SiteStats:
+    """Accumulated timings of one profiling site."""
+
+    calls: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.calls += 1
+        self.total_s += seconds
+        if seconds < self.min_s:
+            self.min_s = seconds
+        if seconds > self.max_s:
+            self.max_s = seconds
+
+
+class _Timer:
+    """Context manager timing one region into an accumulator site."""
+
+    __slots__ = ("_profile", "_site", "_start")
+
+    def __init__(self, profile: "ProfileAccumulator", site: str) -> None:
+        self._profile = profile
+        self._site = site
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._profile.add(self._site, time.perf_counter() - self._start)
+
+
+@dataclass
+class ProfileAccumulator:
+    """Per-site wall-clock accounting for one recording session."""
+
+    sites: dict[str, SiteStats] = field(default_factory=dict)
+
+    def timer(self, site: str) -> _Timer:
+        """A context manager that charges its elapsed time to ``site``."""
+        return _Timer(self, site)
+
+    def add(self, site: str, seconds: float) -> None:
+        stats = self.sites.get(site)
+        if stats is None:
+            stats = self.sites[site] = SiteStats()
+        stats.add(seconds)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.sites
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """JSON-serialisable per-site timing summary, sorted by total time."""
+        return {
+            site: {
+                "calls": stats.calls,
+                "total_s": stats.total_s,
+                "mean_s": stats.total_s / stats.calls if stats.calls else 0.0,
+                "min_s": stats.min_s if stats.calls else 0.0,
+                "max_s": stats.max_s,
+            }
+            for site, stats in sorted(
+                self.sites.items(), key=lambda kv: -kv[1].total_s
+            )
+        }

@@ -1,0 +1,128 @@
+"""``repro obs summarize`` — turn a serve-path trace into tier tables.
+
+Reads the JSONL trace emitted by an ``--obs`` run and renders, per
+fallback-ladder tier: how many requests each tier served (and what share
+arrived there as a fallback), the RTT distribution of those requests, and
+the per-attempt outcome breakdown — the evidence layer for "why did the
+p99 inflate" questions about a chaos sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.tables import format_table
+from repro.errors import ObsError
+from repro.obs.tracing import read_trace
+
+TIER_ORDER = ("access", "direct-visible", "isl", "ground")
+
+
+def _quantile(sorted_samples: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending sample list."""
+    if not sorted_samples:
+        return math.nan
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    position = q * (len(sorted_samples) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_samples) - 1)
+    weight = position - low
+    return sorted_samples[low] * (1.0 - weight) + sorted_samples[high] * weight
+
+
+def _fmt_ms(value: float) -> str:
+    return "n/a" if math.isnan(value) else f"{value:.1f}"
+
+
+def summarize_trace(spans: Iterable[dict]) -> str:
+    """Render the tier tables of one serve-path trace."""
+    serve_rtts: dict[str, list[float]] = {}
+    serve_fallbacks: dict[str, int] = {}
+    unavailable = 0
+    requests = 0
+    attempt_counts: dict[str, dict[str, int]] = {}
+    attempt_contributions: dict[str, list[float]] = {}
+
+    for span in spans:
+        kind = span.get("kind")
+        if kind == "serve":
+            requests += 1
+            if span.get("outcome") == "unavailable":
+                unavailable += 1
+                continue
+            tier = span.get("source", "?")
+            serve_rtts.setdefault(tier, []).append(float(span.get("rtt_ms", 0.0)))
+            if span.get("fallback_reason") is not None:
+                serve_fallbacks[tier] = serve_fallbacks.get(tier, 0) + 1
+        elif kind == "attempt":
+            tier = span.get("tier", "?")
+            outcome = span.get("outcome", "?")
+            per_tier = attempt_counts.setdefault(tier, {})
+            per_tier[outcome] = per_tier.get(outcome, 0) + 1
+            attempt_contributions.setdefault(tier, []).append(
+                float(span.get("rtt_contribution_ms", 0.0))
+            )
+
+    if requests == 0 and not attempt_counts:
+        raise ObsError("trace holds no serve or attempt spans")
+
+    tiers = [t for t in TIER_ORDER if t in serve_rtts or t in attempt_counts]
+    tiers += sorted((set(serve_rtts) | set(attempt_counts)) - set(tiers))
+
+    serve_rows = []
+    for tier in tiers:
+        rtts = sorted(serve_rtts.get(tier, []))
+        hits = len(rtts)
+        serve_rows.append(
+            (
+                tier,
+                hits,
+                f"{hits / requests:.1%}" if requests else "n/a",
+                serve_fallbacks.get(tier, 0),
+                _fmt_ms(_quantile(rtts, 0.5)),
+                _fmt_ms(_quantile(rtts, 0.99)),
+            )
+        )
+    if unavailable:
+        serve_rows.append(
+            ("(unavailable)", unavailable, f"{unavailable / requests:.1%}",
+             0, "n/a", "n/a")
+        )
+    serve_table = format_table(
+        ("tier", "served", "share", "fallback", "p50 RTT ms", "p99 RTT ms"),
+        serve_rows,
+    )
+
+    attempt_rows = []
+    for tier in tiers:
+        outcomes = attempt_counts.get(tier, {})
+        contributions = sorted(attempt_contributions.get(tier, []))
+        attempt_rows.append(
+            (
+                tier,
+                sum(outcomes.values()),
+                outcomes.get("served", 0),
+                outcomes.get("transient-loss", 0),
+                outcomes.get("attempt-timeout", 0)
+                + outcomes.get("ground-timeout", 0),
+                _fmt_ms(_quantile(contributions, 0.5)),
+            )
+        )
+    attempt_table = format_table(
+        ("tier", "attempts", "served", "lost", "timed out", "p50 contrib ms"),
+        attempt_rows,
+    )
+
+    return (
+        f"{requests} requests ({unavailable} unavailable)\n\n"
+        f"Per-tier serving outcomes:\n{serve_table}\n\n"
+        f"Per-tier ladder attempts:\n{attempt_table}"
+    )
+
+
+def summarize_trace_file(path: str | Path) -> str:
+    """Summarise a JSONL trace file (the ``repro obs summarize`` body)."""
+    return summarize_trace(read_trace(path))

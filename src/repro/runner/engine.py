@@ -9,6 +9,7 @@ byte-identical results.
 
 from __future__ import annotations
 
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -22,6 +23,7 @@ from repro.errors import (
     ShardTimeoutError,
 )
 from repro.faults.retry import RetryPolicy
+from repro.obs.recorder import get_recorder
 from repro.runner.deadline import Deadline, shard_watchdog
 from repro.runner.interrupt import InterruptGuard
 from repro.runner.shards import ExperimentPlan
@@ -77,6 +79,9 @@ class ExperimentRunner:
         done = store.completed_shards(self.plan.shard_ids)
         pending = [sid for sid in self.plan.shard_ids if sid not in done]
 
+        rec = get_recorder()
+        shard_seconds = self._prior_shard_seconds(store) if rec.enabled else {}
+
         executed = 0
         with InterruptGuard() as guard:
             for shard_id in pending:
@@ -91,9 +96,23 @@ class ExperimentRunner:
                         f"({len(done) + executed}/{len(self.plan.shard_ids)} "
                         f"shards on disk); resume with --resume"
                     )
-                payload = self._run_shard_with_retry(shard_id, deadline, guard)
+                started = time.perf_counter()
+                with rec.timer("runner.shard"):
+                    payload = self._run_shard_with_retry(shard_id, deadline, guard)
                 store.write_shard(shard_id, payload)
                 executed += 1
+                if rec.enabled:
+                    shard_seconds[shard_id] = round(
+                        time.perf_counter() - started, 6
+                    )
+                    store.update_manifest_obs({"shard_seconds": shard_seconds})
+                    print(
+                        f"obs: shard {shard_id} done in "
+                        f"{shard_seconds[shard_id]:.2f}s "
+                        f"({len(done) + executed}/{len(self.plan.shard_ids)} "
+                        f"on disk)",
+                        file=sys.stderr,
+                    )
 
         # Merge strictly from disk so an uninterrupted run and a resumed
         # one traverse the identical bytes.
@@ -103,9 +122,27 @@ class ExperimentRunner:
             raise CheckpointError(
                 f"checkpoints vanished between write and merge: {missing}"
             )
-        text = self.plan.format(self.plan.merge(payloads))
+        with rec.timer("runner.merge"):
+            text = self.plan.format(self.plan.merge(payloads))
         store.write_result_text(text)
         return text
+
+    @staticmethod
+    def _prior_shard_seconds(store: CheckpointStore) -> dict[str, float]:
+        """Shard timings a previous (interrupted) instrumented run left in
+        the manifest, so a resumed run reports whole-run wall-clock."""
+        manifest = store.load_manifest() or {}
+        obs = manifest.get("obs")
+        if not isinstance(obs, dict):
+            return {}
+        prior = obs.get("shard_seconds")
+        if not isinstance(prior, dict):
+            return {}
+        return {
+            str(sid): float(sec)
+            for sid, sec in prior.items()
+            if isinstance(sec, (int, float))
+        }
 
     def _reconcile_manifest(self, store: CheckpointStore) -> None:
         manifest = build_manifest(self.plan)

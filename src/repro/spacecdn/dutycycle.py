@@ -21,6 +21,7 @@ from repro.constants import (
 )
 from repro.errors import ConfigurationError, UnavailableError
 from repro.geo.coordinates import GeoPoint
+from repro.obs.recorder import get_recorder
 from repro.orbits.visibility import nearest_visible_satellites
 from repro.spacecdn.lookup import LookupResult, SpaceCdnLookup, nearest_cached_satellite
 from repro.topology.graph import SnapshotGraph, access_latency_ms
@@ -120,15 +121,26 @@ class DutyCycleLatencyModel:
         min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
     ) -> LookupResult:
         """Resolve a request at the snapshot instant under the active cache set."""
-        caches = self._active_caches()
-        if not self.failed:
-            return self._lookup.lookup_from_point(user, caches, min_elevation_deg)
-        live = self._live_access(user, min_elevation_deg)
-        return self._lookup.lookup(
-            access_satellite=live.index,
-            access_one_way_ms=access_latency_ms(live.slant_range_km),
-            cache_satellites=caches,
-        )
+        rec = get_recorder()
+        with rec.timer("dutycycle.lookup"):
+            caches = self._active_caches()
+            if not self.failed:
+                result = self._lookup.lookup_from_point(
+                    user, caches, min_elevation_deg
+                )
+            else:
+                live = self._live_access(user, min_elevation_deg)
+                result = self._lookup.lookup(
+                    access_satellite=live.index,
+                    access_one_way_ms=access_latency_ms(live.slant_range_km),
+                    cache_satellites=caches,
+                )
+        if rec.enabled:
+            rec.inc(
+                "repro_dutycycle_lookups_total",
+                (("source", result.source.value),),
+            )
+        return result
 
     def _live_access(self, user: GeoPoint, min_elevation_deg: float):
         """The nearest visible satellite that is not failed."""
@@ -165,39 +177,58 @@ class DutyCycleLatencyModel:
         live satellite overhead raises
         :class:`~repro.errors.UnavailableError`.
         """
-        caches = self._active_caches()
-        access_idx, slant_km = nearest_visible_satellites(
-            self.snapshot.constellation, users, self.snapshot.t_s, min_elevation_deg
-        )
-        if self.failed:
-            access_idx = access_idx.copy()
-            slant_km = slant_km.copy()
-            for i, access in enumerate(access_idx):
-                if int(access) in self.failed:
-                    live = self._live_access(users[i], min_elevation_deg)
-                    access_idx[i] = live.index
-                    slant_km[i] = live.slant_range_km
-        access_ms = (
-            slant_km / SPEED_OF_LIGHT_KM_S * 1000.0
-            + STARLINK_SCHEDULING_DELAY_MS
-            + STARLINK_PROCESSING_DELAY_MS
-        )
-
-        unique_access, inverse = np.unique(access_idx, return_inverse=True)
-        isl_ms = np.zeros(len(unique_access))
-        grounded = np.zeros(len(unique_access), dtype=bool)
-        for k, access in enumerate(unique_access):
-            if int(access) in caches:
-                continue
-            found = nearest_cached_satellite(
-                self.snapshot, int(access), caches, self._lookup.max_hops
+        rec = get_recorder()
+        with rec.timer("dutycycle.one_way_ms_batch"):
+            caches = self._active_caches()
+            access_idx, slant_km = nearest_visible_satellites(
+                self.snapshot.constellation,
+                users,
+                self.snapshot.t_s,
+                min_elevation_deg,
             )
-            if found is None:
-                grounded[k] = True
-            else:
-                isl_ms[k] = found[2]
+            if self.failed:
+                access_idx = access_idx.copy()
+                slant_km = slant_km.copy()
+                for i, access in enumerate(access_idx):
+                    if int(access) in self.failed:
+                        live = self._live_access(users[i], min_elevation_deg)
+                        access_idx[i] = live.index
+                        slant_km[i] = live.slant_range_km
+            access_ms = (
+                slant_km / SPEED_OF_LIGHT_KM_S * 1000.0
+                + STARLINK_SCHEDULING_DELAY_MS
+                + STARLINK_PROCESSING_DELAY_MS
+            )
 
-        one_way = access_ms + isl_ms[inverse]
-        fallback = grounded[inverse]
-        one_way[fallback] = self._lookup.ground_fallback_one_way_ms
+            unique_access, inverse = np.unique(access_idx, return_inverse=True)
+            isl_ms = np.zeros(len(unique_access))
+            grounded = np.zeros(len(unique_access), dtype=bool)
+            for k, access in enumerate(unique_access):
+                if int(access) in caches:
+                    continue
+                found = nearest_cached_satellite(
+                    self.snapshot, int(access), caches, self._lookup.max_hops
+                )
+                if found is None:
+                    grounded[k] = True
+                else:
+                    isl_ms[k] = found[2]
+
+            one_way = access_ms + isl_ms[inverse]
+            fallback = grounded[inverse]
+            one_way[fallback] = self._lookup.ground_fallback_one_way_ms
+        if rec.enabled:
+            grounded_n = int(fallback.sum())
+            if grounded_n:
+                rec.inc(
+                    "repro_dutycycle_lookups_total",
+                    (("source", "ground"),),
+                    float(grounded_n),
+                )
+            if len(users) - grounded_n:
+                rec.inc(
+                    "repro_dutycycle_lookups_total",
+                    (("source", "space"),),
+                    float(len(users) - grounded_n),
+                )
         return one_way

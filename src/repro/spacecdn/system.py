@@ -22,6 +22,7 @@ from repro.constants import CDN_SERVER_THINK_TIME_MS, MIN_ELEVATION_USER_DEG
 from repro.errors import ConfigurationError, UnavailableError
 from repro.faults import FaultSchedule, FaultView, RetryPolicy, apply_fault_view
 from repro.geo.coordinates import GeoPoint
+from repro.obs.recorder import get_recorder
 from repro.orbits.walker import Constellation
 from repro.spacecdn.lookup import (
     LookupSource,
@@ -30,6 +31,16 @@ from repro.spacecdn.lookup import (
 )
 from repro.topology.graph import SnapshotGraph, access_latency_ms, build_snapshot
 from repro.workloads.requests import Request
+
+TIER_OF_SOURCE: dict[LookupSource, str] = {
+    LookupSource.ACCESS_SATELLITE: "access",
+    LookupSource.DIRECT_VISIBLE: "direct-visible",
+    LookupSource.ISL_NEIGHBOR: "isl",
+    LookupSource.GROUND: "ground",
+}
+"""Ladder-tier names used in metrics labels and trace spans."""
+
+_TIER_LABELS = {tier: (("tier", tier),) for tier in TIER_OF_SOURCE.values()}
 
 
 @dataclass(frozen=True)
@@ -87,10 +98,17 @@ class SystemStats:
         return self.requests - self.unavailable
 
     @property
-    def availability(self) -> float:
-        """Fraction of requests served at all; 1.0 before any request."""
+    def availability(self) -> float | None:
+        """Fraction of requests served at all; ``None`` before any request.
+
+        Zero requests means *no evidence*, which is different from
+        "perfectly available": returning ``None`` (rather than a made-up
+        1.0 or a division by zero) keeps aggregation over empty shards
+        well-defined — callers render it as "n/a" instead of averaging a
+        fictitious value into a sweep.
+        """
         if self.requests == 0:
-            return 1.0
+            return None
         return self.served / self.requests
 
     @property
@@ -309,6 +327,63 @@ class SpaceCdnSystem:
         view, degraded = self._fault_state_at(snapshot)
         return self._serve_degraded(user, object_id, t_s, snapshot, view, degraded)
 
+    def _emit_serve_trace(
+        self,
+        rec,
+        object_id: str,
+        t_s: float,
+        outcome: str,
+        source: LookupSource | None,
+        satellite: int | None,
+        hops: int,
+        rtt_ms: float | None,
+        attempts: int,
+        fallback_reason: str | None,
+        attempt_log: list[dict] | None,
+        view: FaultView | None,
+    ) -> None:
+        """One ``serve`` root span plus its per-attempt children.
+
+        Only ever called with an enabled recorder; the disabled path never
+        reaches here, so instrumentation stays allocation-free by default.
+        """
+        span = rec.open_span(
+            "serve",
+            t_s=t_s,
+            object_id=object_id,
+            outcome=outcome,
+            source=None if source is None else TIER_OF_SOURCE[source],
+            satellite=satellite,
+            hops=hops,
+            rtt_ms=rtt_ms,
+            attempts=attempts,
+            fallback_reason=fallback_reason,
+        )
+        if view is not None:
+            span.set(
+                faults_failed_satellites=len(view.failed_satellites),
+                faults_cut_links=len(view.cut_links),
+                faults_ground_down=view.ground_segment_down,
+            )
+        if attempt_log is None:
+            # Healthy fast path: exactly one attempt, the successful rung.
+            attempt_log = [
+                {
+                    "tier": TIER_OF_SOURCE[source],
+                    "satellite": satellite,
+                    "hops": hops,
+                    "retry_index": 1,
+                    "outcome": "served",
+                    "rtt_contribution_ms": rtt_ms,
+                }
+            ]
+        for entry in attempt_log:
+            span.child("attempt", **entry)
+            rec.inc(
+                "repro_serve_attempts_total",
+                (("tier", entry["tier"]), ("outcome", entry["outcome"])),
+            )
+
     def _serve_healthy(
         self, user: GeoPoint, object_id: str, t_s: float, snapshot: SnapshotGraph
     ) -> ServedRequest:
@@ -456,6 +531,8 @@ class SpaceCdnSystem:
         policy = self.retry_policy
         request_index = self._request_counter
         self._request_counter += 1
+        rec = get_recorder()
+        attempt_log: list[dict] | None = [] if rec.enabled else None
 
         visible = visible_satellites(
             self.constellation, user, snapshot.t_s, self.min_elevation_deg
@@ -463,6 +540,12 @@ class SpaceCdnSystem:
         live_visible = [s for s in visible if degraded.has_satellite(s.index)]
         if not live_visible:
             self.stats.unavailable += 1
+            if rec.enabled:
+                rec.inc("repro_serve_unavailable_total", (("reason", "no-sky"),))
+                self._emit_serve_trace(
+                    rec, object_id, t_s, "unavailable", None, None, 0, None,
+                    0, "no-sky", attempt_log, view,
+                )
             raise UnavailableError(
                 f"no live satellite visible from ({user.lat_deg:.1f}, "
                 f"{user.lon_deg:.1f}) under the active fault schedule"
@@ -480,15 +563,50 @@ class SpaceCdnSystem:
             if self.fault_schedule.attempt_lost(request_index, attempts):
                 reason = "transient-loss"
                 self.stats.timeouts += 1
-                backoff_ms += policy.backoff_ms(attempts)
+                step_ms = policy.backoff_ms(attempts)
+                backoff_ms += step_ms
+                if attempt_log is not None:
+                    attempt_log.append(
+                        {
+                            "tier": TIER_OF_SOURCE[source],
+                            "satellite": satellite,
+                            "hops": hops,
+                            "retry_index": attempts,
+                            "outcome": "transient-loss",
+                            "rtt_contribution_ms": step_ms,
+                        }
+                    )
                 continue
             if not policy.within_budget(rtt):
                 reason = "attempt-timeout"
                 self.stats.timeouts += 1
-                backoff_ms += policy.backoff_ms(attempts)
+                step_ms = policy.backoff_ms(attempts)
+                backoff_ms += step_ms
+                if attempt_log is not None:
+                    attempt_log.append(
+                        {
+                            "tier": TIER_OF_SOURCE[source],
+                            "satellite": satellite,
+                            "hops": hops,
+                            "retry_index": attempts,
+                            "outcome": "attempt-timeout",
+                            "rtt_contribution_ms": step_ms,
+                        }
+                    )
                 continue
             self.cache_of(satellite).get(object_id)  # count the hit
             self.stats.retries += attempts - 1
+            if attempt_log is not None:
+                attempt_log.append(
+                    {
+                        "tier": TIER_OF_SOURCE[source],
+                        "satellite": satellite,
+                        "hops": hops,
+                        "retry_index": attempts,
+                        "outcome": "served",
+                        "rtt_contribution_ms": rtt,
+                    }
+                )
             return self._record(
                 object_id,
                 t_s,
@@ -498,6 +616,8 @@ class SpaceCdnSystem:
                 rtt + backoff_ms,
                 attempts=attempts,
                 fallback_reason=reason,
+                attempt_log=attempt_log,
+                view=view,
             )
 
         # Ground rung: retried until the attempt budget runs out.
@@ -507,15 +627,50 @@ class SpaceCdnSystem:
             if self.fault_schedule.attempt_lost(request_index, attempts):
                 reason = "transient-loss"
                 self.stats.timeouts += 1
-                backoff_ms += policy.backoff_ms(attempts)
+                step_ms = policy.backoff_ms(attempts)
+                backoff_ms += step_ms
+                if attempt_log is not None:
+                    attempt_log.append(
+                        {
+                            "tier": "ground",
+                            "satellite": None,
+                            "hops": 0,
+                            "retry_index": attempts,
+                            "outcome": "transient-loss",
+                            "rtt_contribution_ms": step_ms,
+                        }
+                    )
                 continue
             if not policy.within_budget(self.ground_rtt_ms):
                 reason = "ground-timeout"
                 self.stats.timeouts += 1
-                backoff_ms += policy.backoff_ms(attempts)
+                step_ms = policy.backoff_ms(attempts)
+                backoff_ms += step_ms
+                if attempt_log is not None:
+                    attempt_log.append(
+                        {
+                            "tier": "ground",
+                            "satellite": None,
+                            "hops": 0,
+                            "retry_index": attempts,
+                            "outcome": "ground-timeout",
+                            "rtt_contribution_ms": step_ms,
+                        }
+                    )
                 continue
             self._store(access.index, object_id)
             self.stats.retries += attempts - 1
+            if attempt_log is not None:
+                attempt_log.append(
+                    {
+                        "tier": "ground",
+                        "satellite": None,
+                        "hops": 0,
+                        "retry_index": attempts,
+                        "outcome": "served",
+                        "rtt_contribution_ms": self.ground_rtt_ms,
+                    }
+                )
             return self._record(
                 object_id,
                 t_s,
@@ -525,10 +680,23 @@ class SpaceCdnSystem:
                 self.ground_rtt_ms + backoff_ms,
                 attempts=attempts,
                 fallback_reason=reason if reason is not None else ground_reason,
+                attempt_log=attempt_log,
+                view=view,
             )
 
         self.stats.retries += max(0, attempts - 1)
         self.stats.unavailable += 1
+        exhausted_reason = (
+            "ground-down" if view.ground_segment_down else "budget-exhausted"
+        )
+        if rec.enabled:
+            rec.inc(
+                "repro_serve_unavailable_total", (("reason", exhausted_reason),)
+            )
+            self._emit_serve_trace(
+                rec, object_id, t_s, "unavailable", None, None, 0, None,
+                attempts, exhausted_reason, attempt_log, view,
+            )
         if view.ground_segment_down:
             raise UnavailableError(
                 f"object {object_id!r}: fallback ladder exhausted after "
@@ -583,6 +751,8 @@ class SpaceCdnSystem:
         rtt_ms: float,
         attempts: int = 1,
         fallback_reason: str | None = None,
+        attempt_log: list[dict] | None = None,
+        view: FaultView | None = None,
     ) -> ServedRequest:
         if source is LookupSource.ACCESS_SATELLITE:
             self.stats.access_hits += 1
@@ -593,6 +763,20 @@ class SpaceCdnSystem:
         else:
             self.stats.ground_fetches += 1
         self.stats.rtt_samples_ms.append(rtt_ms)
+        rec = get_recorder()
+        if rec.enabled:
+            tier = TIER_OF_SOURCE[source]
+            labels = _TIER_LABELS[tier]
+            rec.inc("repro_serve_total", labels)
+            rec.observe("repro_serve_rtt_ms", rtt_ms, labels)
+            if fallback_reason is not None:
+                rec.inc(
+                    "repro_serve_fallback_total", (("reason", fallback_reason),)
+                )
+            self._emit_serve_trace(
+                rec, object_id, t_s, "served", source, satellite, hops,
+                rtt_ms, attempts, fallback_reason, attempt_log, view,
+            )
         return ServedRequest(
             object_id=object_id,
             t_s=t_s,

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.constants import ISL_HOP_PROCESSING_MS, SPEED_OF_LIGHT_KM_S
 from repro.errors import RoutingError
+from repro.obs.recorder import get_recorder
 from repro.orbits.elements import ShellConfig
 from repro.topology.isl import plus_grid_links
 
@@ -173,11 +174,14 @@ def link_weights(
 
 def build_core(constellation, t_s: float) -> CsrSnapshot:
     """CSR snapshot of a constellation at time ``t_s`` (positions included)."""
-    topology = csr_topology(constellation.config)
-    distances, latencies = link_weights(topology, constellation.positions_ecef(t_s))
-    return CsrSnapshot(
-        topology=topology, link_distance_km=distances, link_latency_ms=latencies
-    )
+    with get_recorder().timer("fastcore.build_core"):
+        topology = csr_topology(constellation.config)
+        distances, latencies = link_weights(
+            topology, constellation.positions_ecef(t_s)
+        )
+        return CsrSnapshot(
+            topology=topology, link_distance_km=distances, link_latency_ms=latencies
+        )
 
 
 def degrade_core(
@@ -381,7 +385,8 @@ def latency_batch(
     Returns ``(len(sources), N)`` float64; unreachable (or failed)
     satellites hold ``inf``.
     """
-    return _distances(core, sources, active, weighted=True, method=method)
+    with get_recorder().timer("fastcore.latency_batch"):
+        return _distances(core, sources, active, weighted=True, method=method)
 
 
 def hop_distances_batch(
@@ -395,11 +400,12 @@ def hop_distances_batch(
     Returns ``(len(sources), N)`` int32; unreachable (or failed) satellites
     hold :data:`HOP_UNREACHABLE`.
     """
-    levels = _distances(core, sources, active, weighted=False, method=method)
-    hops = np.full(levels.shape, HOP_UNREACHABLE, dtype=np.int32)
-    reachable = np.isfinite(levels)
-    hops[reachable] = levels[reachable].astype(np.int32)
-    return hops
+    with get_recorder().timer("fastcore.hop_distances_batch"):
+        levels = _distances(core, sources, active, weighted=False, method=method)
+        hops = np.full(levels.shape, HOP_UNREACHABLE, dtype=np.int32)
+        reachable = np.isfinite(levels)
+        hops[reachable] = levels[reachable].astype(np.int32)
+        return hops
 
 
 def nearest_hops(
@@ -413,14 +419,15 @@ def nearest_hops(
     Multi-source BFS; the placement/resilience primitive. Returns ``(N,)``
     int32 with :data:`HOP_UNREACHABLE` where no target can be reached.
     """
-    target_arr = np.asarray(sorted(set(int(t) for t in targets)), dtype=np.int64)
-    levels = _distances(
-        core, target_arr, active, weighted=False, method=method, min_only=True
-    )[0]
-    hops = np.full(levels.shape, HOP_UNREACHABLE, dtype=np.int32)
-    reachable = np.isfinite(levels)
-    hops[reachable] = levels[reachable].astype(np.int32)
-    return hops
+    with get_recorder().timer("fastcore.nearest_hops"):
+        target_arr = np.asarray(sorted(set(int(t) for t in targets)), dtype=np.int64)
+        levels = _distances(
+            core, target_arr, active, weighted=False, method=method, min_only=True
+        )[0]
+        hops = np.full(levels.shape, HOP_UNREACHABLE, dtype=np.int32)
+        reachable = np.isfinite(levels)
+        hops[reachable] = levels[reachable].astype(np.int32)
+        return hops
 
 
 def single_source(
@@ -465,15 +472,18 @@ def hop_ladder_batch(
     """
     if max_hops < 0:
         raise RoutingError(f"max_hops must be non-negative, got {max_hops}")
-    hops = hop_distances_batch(core, sources, active, method)
-    lats = latency_batch(core, sources, active, method)
-    num_sources = hops.shape[0]
-    width = max_hops + 1
-    valid = (hops >= 0) & (hops <= max_hops) & np.isfinite(lats)
-    s_idx, node_idx = np.nonzero(valid)
-    keys = s_idx * width + hops[s_idx, node_idx]
-    flat = np.full(num_sources * width, np.inf)
-    np.minimum.at(flat, keys, lats[s_idx, node_idx])
-    ladder = flat.reshape(num_sources, width)
-    ladder[np.isinf(ladder)] = np.nan
-    return ladder
+    # The nested hop/latency kernels charge their own profile sites; this
+    # site therefore reports the whole ladder including those legs.
+    with get_recorder().timer("fastcore.hop_ladder_batch"):
+        hops = hop_distances_batch(core, sources, active, method)
+        lats = latency_batch(core, sources, active, method)
+        num_sources = hops.shape[0]
+        width = max_hops + 1
+        valid = (hops >= 0) & (hops <= max_hops) & np.isfinite(lats)
+        s_idx, node_idx = np.nonzero(valid)
+        keys = s_idx * width + hops[s_idx, node_idx]
+        flat = np.full(num_sources * width, np.inf)
+        np.minimum.at(flat, keys, lats[s_idx, node_idx])
+        ladder = flat.reshape(num_sources, width)
+        ladder[np.isinf(ladder)] = np.nan
+        return ladder

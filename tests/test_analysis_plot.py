@@ -59,6 +59,47 @@ class TestAsciiCdf:
             ascii_cdf(series, x_max=0.0)
 
 
+class TestCdfBinningGolden:
+    """Pin the exact column->x and probability->row binning arithmetic."""
+
+    def test_step_function_marker_placement(self):
+        # One sample at 10: P(X <= x) steps 0 -> 1 at exactly x = 10.
+        plot = ascii_cdf(
+            {"s": Cdf.from_samples([10.0])}, width=20, height=5, x_max=20.0
+        )
+        rows = plot.splitlines()
+        # Column c samples x = (c + 0.5) / 20 * 20 = c + 0.5, so columns
+        # 0..9 (x < 10) sit on the p=0.00 row and columns 10..19 on p=1.00.
+        assert rows[0] == "1.00 |" + " " * 10 + "s" * 10
+        assert rows[4] == "0.00 |" + "s" * 10 + " " * 10
+        for row in rows[1:4]:
+            assert row[6:] == " " * 20
+
+    def test_quartile_staircase_golden_grid(self):
+        # Four equal-mass samples: the CDF climbs in exact 0.25 steps, and
+        # with height 5 every step owns its own row of the grid.
+        cdf = Cdf.from_samples([2.0, 4.0, 6.0, 8.0])
+        plot = ascii_cdf({"q": cdf}, width=20, height=5, x_max=10.0)
+        rows = [line[6:] for line in plot.splitlines()[:5]]
+        assert rows == [
+            " " * 16 + "q" * 4,  # p=1.00: columns with x > 8
+            " " * 12 + "q" * 4 + " " * 4,  # p=0.75: x in (6, 8)
+            " " * 8 + "q" * 4 + " " * 8,  # p=0.50: x in (4, 6)
+            " " * 4 + "q" * 4 + " " * 12,  # p=0.25: x in (2, 4)
+            "q" * 4 + " " * 16,  # p=0.00: x < 2
+        ]
+
+    def test_histogram_golden_bars(self):
+        # Edges [0, 1, 2]; numpy's half-open bins put 0.0 and 0.5 in the
+        # first bin and 2.0 (the closed right edge) in the second, so the
+        # bars scale 2:1 against a peak of 2.
+        plot = ascii_histogram([0.0, 0.5, 2.0], bins=2, width=10)
+        assert plot.splitlines() == [
+            "     0.0..     1.0 |########## 2",
+            "     1.0..     2.0 |##### 1",
+        ]
+
+
 class TestAsciiHistogram:
     def test_renders_bins(self):
         samples = list(np.random.default_rng(1).exponential(10.0, 500))

@@ -10,9 +10,10 @@ import numpy as np
 import pytest
 
 from repro.cdn.content import Catalog, ContentObject
+from repro.errors import ConfigurationError
 from repro.geo.coordinates import GeoPoint
 from repro.spacecdn.lookup import LookupSource
-from repro.spacecdn.striping import plan_stripes
+from repro.spacecdn.striping import plan_stripes, stripe_coverage_gaps
 from repro.spacecdn.system import SpaceCdnSystem
 
 VIEWER = GeoPoint(0.0, 0.0, 0.0)
@@ -92,3 +93,70 @@ class TestStripedPlayback:
         plan, system, _ = session
         assert system.stats.requests == plan.num_stripes
         assert system.stats.ground_fetches == 0
+
+
+class TestHandoverContinuity:
+    """Golden checks on the plan's handover arithmetic: the stripe windows
+    must tile the video exactly and hand over on half-open boundaries."""
+
+    def test_playback_windows_tile_the_video(self, session):
+        plan, _, _ = session
+        assert plan.assignments[0].playback_start_s == 0.0
+        assert plan.assignments[-1].playback_end_s == VIDEO_S
+        for left, right in zip(plan.assignments, plan.assignments[1:]):
+            assert left.playback_end_s == right.playback_start_s
+
+    def test_stripe_windows_are_exact_multiples(self, session):
+        plan, _, _ = session
+        assert plan.num_stripes == VIDEO_S / STRIPE_S
+        for assignment in plan.assignments:
+            assert assignment.playback_start_s == (
+                assignment.stripe_index * STRIPE_S
+            )
+            assert assignment.playback_end_s == (
+                (assignment.stripe_index + 1) * STRIPE_S
+            )
+
+    def test_handover_instant_belongs_to_incoming_stripe(self, session):
+        # Windows are half-open [start, end): at the handover instant the
+        # *incoming* stripe's satellite serves, one second earlier the
+        # outgoing one still does.
+        plan, _, _ = session
+        for left, right in zip(plan.assignments, plan.assignments[1:]):
+            boundary = right.playback_start_s
+            assert plan.satellite_for_time(boundary) == right.satellite
+            assert plan.satellite_for_time(boundary - 1.0) == left.satellite
+
+    def test_times_outside_session_rejected(self, session):
+        plan, _, _ = session
+        with pytest.raises(ConfigurationError):
+            plan.satellite_for_time(-1.0)
+        with pytest.raises(ConfigurationError):
+            plan.satellite_for_time(VIDEO_S)  # end is exclusive
+
+    def test_distinct_satellites_dedup_consecutive_only(self, session):
+        plan, _, _ = session
+        sequence = [a.satellite for a in plan.assignments]
+        expected = [
+            satellite
+            for i, satellite in enumerate(sequence)
+            if i == 0 or satellite != sequence[i - 1]
+        ]
+        assert plan.distinct_satellites() == expected
+        # A 30-minute session outlives any single LEO pass: the plan must
+        # hand the stream across satellites, not pin it to one.
+        assert len(plan.distinct_satellites()) >= 2
+
+    def test_coverage_gaps_match_pass_windows(self, session):
+        plan, _, _ = session
+        gaps = dict(stripe_coverage_gaps(plan))
+        for assignment in plan.assignments:
+            uncovered = gaps.get(assignment.stripe_index, 0.0)
+            if uncovered == 0.0:
+                # Fully covered: the pass brackets the playback window, so
+                # there is non-negative slack to upload before playback.
+                assert assignment.pass_window.start_s <= assignment.playback_start_s
+                assert assignment.pass_window.end_s >= assignment.playback_end_s
+                assert assignment.slack_before_s >= 0.0
+            else:
+                assert 0.0 < uncovered <= STRIPE_S

@@ -1,0 +1,297 @@
+"""Integration tests: observability wired through the serve path, the
+runner, and the CLI.
+
+The two load-bearing guarantees:
+
+* disabled (the default) — every instrumented path produces byte-identical
+  results to an uninstrumented run;
+* enabled — the trace's per-attempt spans reconstruct each request's RTT
+  exactly, and interrupted runs still flush complete (never truncated)
+  artifacts through the atomic-write path.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cdn.content import build_catalog
+from repro.cli import EXIT_INTERRUPTED, main
+from repro.errors import UnavailableError
+from repro.faults import (
+    FaultSchedule,
+    OutageWindow,
+    RetryPolicy,
+    TransientAttemptLoss,
+)
+from repro.geo.coordinates import GeoPoint
+from repro.obs import ObsRecorder, recording, reset_recorder
+from repro.obs.tracing import read_trace
+from repro.spacecdn.system import SpaceCdnSystem
+
+EQUATOR = GeoPoint(0.0, 0.0, 0.0)
+OBJ = "obj-000002"
+FAR_HOLDER = 20
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    yield
+    reset_recorder()
+
+
+@pytest.fixture
+def catalog():
+    return build_catalog(
+        np.random.default_rng(0), 50, regions=("africa",), kind_weights={"web": 1.0}
+    )
+
+
+def make_system(small_constellation, catalog, schedule=None, policy=None):
+    kwargs = dict(
+        constellation=small_constellation,
+        catalog=catalog,
+        cache_bytes_per_satellite=10**9,
+        fault_schedule=schedule,
+    )
+    if policy is not None:
+        kwargs["retry_policy"] = policy
+    return SpaceCdnSystem(**kwargs)
+
+
+def _attempt_sums(spans):
+    """Map each serve span to the sum of its children's RTT contributions."""
+    roots = {s["span_id"]: s for s in spans if s["kind"] == "serve"}
+    sums = {span_id: 0.0 for span_id in roots}
+    for span in spans:
+        if span["kind"] == "attempt" and span["parent_id"] in sums:
+            sums[span["parent_id"]] += span["rtt_contribution_ms"]
+    return roots, sums
+
+
+class TestServeTracing:
+    def test_healthy_serve_emits_root_and_attempt(
+        self, small_constellation, catalog
+    ):
+        system = make_system(small_constellation, catalog)
+        system.preload({OBJ: frozenset({FAR_HOLDER})})
+        recorder = ObsRecorder()
+        with recording(recorder):
+            served = system.serve(EQUATOR, OBJ, 0.0)
+        spans = recorder.trace.spans()
+        roots = [s for s in spans if s["kind"] == "serve"]
+        attempts = [s for s in spans if s["kind"] == "attempt"]
+        assert len(roots) == 1 and len(attempts) == 1
+        assert roots[0]["outcome"] == "served"
+        assert roots[0]["rtt_ms"] == pytest.approx(served.rtt_ms)
+        assert attempts[0]["parent_id"] == roots[0]["span_id"]
+        assert attempts[0]["rtt_contribution_ms"] == pytest.approx(served.rtt_ms)
+        assert recorder.metrics.counter_value(
+            "repro_serve_total", (("tier", "isl"),)
+        ) == 1.0
+
+    def test_retry_span_contributions_sum_to_rtt(
+        self, small_constellation, catalog
+    ):
+        # seed 0: request 0 loses attempt 1, attempt 2 goes through, so the
+        # serve span carries one backoff child plus the served rung.
+        schedule = FaultSchedule().add(TransientAttemptLoss(probability=0.5, seed=0))
+        system = make_system(
+            small_constellation, catalog, schedule, RetryPolicy(max_attempts=4)
+        )
+        system.preload({OBJ: frozenset({0, FAR_HOLDER})})
+        recorder = ObsRecorder()
+        with recording(recorder):
+            served = system.serve(EQUATOR, OBJ, 0.0)
+        assert served.attempts == 2
+        roots, sums = _attempt_sums(recorder.trace.spans())
+        (span_id,) = roots
+        assert roots[span_id]["attempts"] == 2
+        assert sums[span_id] == pytest.approx(served.rtt_ms)
+        assert recorder.metrics.counter_value(
+            "repro_retry_backoff_total"
+        ) == 1.0
+
+    def test_unavailable_serve_traced_with_reason(
+        self, small_constellation, catalog
+    ):
+        schedule = FaultSchedule().add(OutageWindow(satellites=frozenset({0})))
+        system = make_system(small_constellation, catalog, schedule)
+        system.preload({OBJ: frozenset({0})})
+        recorder = ObsRecorder()
+        with recording(recorder):
+            with pytest.raises(UnavailableError):
+                system.serve(EQUATOR, OBJ, 0.0)
+        (root,) = [s for s in recorder.trace.spans() if s["kind"] == "serve"]
+        assert root["outcome"] == "unavailable"
+        assert root["fallback_reason"] == "no-sky"
+        assert recorder.metrics.counter_value(
+            "repro_serve_unavailable_total", (("reason", "no-sky"),)
+        ) == 1.0
+
+    def test_recording_does_not_change_serving(
+        self, small_constellation, catalog
+    ):
+        schedule = FaultSchedule().add(TransientAttemptLoss(probability=0.5, seed=0))
+        plain = make_system(
+            small_constellation, catalog, schedule, RetryPolicy(max_attempts=4)
+        )
+        plain.preload({OBJ: frozenset({0, FAR_HOLDER})})
+        baseline = plain.serve(EQUATOR, OBJ, 0.0)
+
+        observed = make_system(
+            small_constellation, catalog, schedule, RetryPolicy(max_attempts=4)
+        )
+        observed.preload({OBJ: frozenset({0, FAR_HOLDER})})
+        with recording(ObsRecorder()):
+            traced = observed.serve(EQUATOR, OBJ, 0.0)
+        assert traced == baseline
+
+    def test_cache_and_kernel_instrumentation_record(
+        self, small_constellation, catalog
+    ):
+        system = make_system(small_constellation, catalog)
+        recorder = ObsRecorder()
+        with recording(recorder):
+            system.preload({OBJ: frozenset({FAR_HOLDER})})
+            system.serve(EQUATOR, OBJ, 0.0)
+        assert recorder.metrics.counter_value(
+            "repro_cache_ops_total", (("op", "insert"),)
+        ) >= 1.0
+        sites = recorder.profile.sites
+        assert any(site.startswith("fastcore.") for site in sites)
+
+
+class TestCliObs:
+    CHAOS = [
+        "run", "chaos",
+        "--shell", "small",
+        "--requests", "30",
+        "--fractions", "0.0,0.3",
+        "--seed", "5",
+    ]
+
+    def test_obs_run_writes_artifacts_and_summarizes(self, tmp_path, capsys):
+        run_dir = tmp_path / "chaos"
+        assert main(self.CHAOS + ["--obs", "--out-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+
+        metrics_text = (run_dir / "obs-metrics.prom").read_text()
+        assert "# TYPE repro_serve_total counter" in metrics_text
+        assert "repro_serve_rtt_ms_bucket" in metrics_text
+        assert 'repro_profile_calls{site="runner.shard"} 2' in metrics_text
+
+        spans = list(read_trace(run_dir / "obs-trace.jsonl"))
+        roots, sums = _attempt_sums(spans)
+        served = {
+            sid: root for sid, root in roots.items()
+            if root["outcome"] == "served"
+        }
+        assert served
+        for span_id, root in served.items():
+            assert sums[span_id] == pytest.approx(root["rtt_ms"]), root
+
+        assert main(["obs", "summarize", str(run_dir / "obs-trace.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "Per-tier serving outcomes:" in out
+        assert "Per-tier ladder attempts:" in out
+
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert set(manifest["obs"]["shard_seconds"]) == {
+            "fraction-00", "fraction-01"
+        }
+
+    def test_metrics_out_implies_obs(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        metrics = tmp_path / "m.prom"
+        assert main(self.CHAOS + ["--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        assert "repro_serve_total" in metrics.read_text()
+        # Asking for only the metrics file must not drop a default trace
+        # artifact into the working directory.
+        assert not (tmp_path / "obs-trace.jsonl").exists()
+
+    def test_disabled_run_writes_no_artifacts(self, tmp_path, capsys):
+        run_dir = tmp_path / "plain"
+        assert main(self.CHAOS + ["--out-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        assert not (run_dir / "obs-metrics.prom").exists()
+        assert not (run_dir / "obs-trace.jsonl").exists()
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert "obs" not in manifest
+
+    def test_output_identical_with_and_without_obs(self, tmp_path, capsys):
+        plain_dir = tmp_path / "plain"
+        obs_dir = tmp_path / "obs"
+        assert main(self.CHAOS + ["--out-dir", str(plain_dir)]) == 0
+        assert main(self.CHAOS + ["--obs", "--out-dir", str(obs_dir)]) == 0
+        capsys.readouterr()
+        assert (plain_dir / "result.txt").read_bytes() == (
+            obs_dir / "result.txt"
+        ).read_bytes()
+
+
+class TestInterruptionFlush:
+    BASE = [
+        "run", "chaos",
+        "--shell", "small",
+        "--requests", "30",
+        "--fractions", "0.0,0.3",
+        "--seed", "5",
+    ]
+
+    def test_interrupted_run_flushes_complete_artifacts(self, tmp_path, capsys):
+        """--max-shards raises through the same path as the first SIGINT;
+        the obs buffers must land on disk complete, never truncated."""
+        run_dir = tmp_path / "partial"
+        code = main(
+            self.BASE + ["--obs", "--out-dir", str(run_dir), "--max-shards", "1"]
+        )
+        assert code == EXIT_INTERRUPTED
+        capsys.readouterr()
+
+        trace_path = run_dir / "obs-trace.jsonl"
+        # Every line parses: an interrupted flush is complete or absent.
+        spans = list(read_trace(trace_path))
+        assert spans
+        for line in trace_path.read_text().splitlines():
+            json.loads(line)
+        assert trace_path.read_text().endswith("\n")
+        assert "repro_serve_total" in (run_dir / "obs-metrics.prom").read_text()
+
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert list(manifest["obs"]["shard_seconds"]) == ["fraction-00"]
+
+    def test_resume_after_obs_interrupt(self, tmp_path, capsys):
+        """The manifest's obs section never blocks --resume, with or
+        without --obs on the resuming invocation; a resumed instrumented
+        run carries the interrupted run's shard timings forward."""
+        clean_dir = tmp_path / "clean"
+        assert main(self.BASE + ["--out-dir", str(clean_dir)]) == 0
+        capsys.readouterr()
+
+        run_dir = tmp_path / "partial"
+        assert main(
+            self.BASE + ["--obs", "--out-dir", str(run_dir), "--max-shards", "1"]
+        ) == EXIT_INTERRUPTED
+        capsys.readouterr()
+        assert main(
+            self.BASE + ["--obs", "--out-dir", str(run_dir), "--resume"]
+        ) == 0
+        capsys.readouterr()
+        assert (run_dir / "result.txt").read_bytes() == (
+            clean_dir / "result.txt"
+        ).read_bytes()
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert set(manifest["obs"]["shard_seconds"]) == {
+            "fraction-00", "fraction-01"
+        }
+
+        # Resuming an instrumented run dir *without* --obs also works.
+        other = tmp_path / "partial2"
+        assert main(
+            self.BASE + ["--obs", "--out-dir", str(other), "--max-shards", "1"]
+        ) == EXIT_INTERRUPTED
+        capsys.readouterr()
+        assert main(self.BASE + ["--out-dir", str(other), "--resume"]) == 0
+        capsys.readouterr()

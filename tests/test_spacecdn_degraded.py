@@ -231,8 +231,11 @@ class TestStatsCounters:
         assert system.stats.served == 0
         assert system.stats.availability == 0.0
 
-    def test_availability_one_before_any_request(
+    def test_availability_none_before_any_request(
         self, small_constellation, catalog
     ):
+        # Zero requests means no denominator: availability is unknown, not
+        # a perfect 1.0 (and never a ZeroDivisionError).
         system = make_system(small_constellation, catalog)
-        assert system.stats.availability == 1.0
+        assert system.stats.requests == 0
+        assert system.stats.availability is None
