@@ -10,7 +10,6 @@ import numpy as np
 
 from repro.analysis.tables import format_table
 from repro.constants import CDN_SERVER_THINK_TIME_MS
-from repro.geo.coordinates import GeoPoint
 from repro.orbits.elements import (
     oneweb_phase1,
     starlink_shell1,

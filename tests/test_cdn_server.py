@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cdn.cache import LruCache
-from repro.cdn.content import Catalog, ContentObject, build_catalog
+from repro.cdn.content import build_catalog
 from repro.cdn.server import CdnServer, OriginServer
 from repro.errors import ContentNotFoundError
 from repro.geo.coordinates import GeoPoint

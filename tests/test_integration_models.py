@@ -19,7 +19,7 @@ from repro.network.bentpipe import StarlinkPathModel
 from repro.network.latency import LatencyNoise
 from repro.spacecdn.lookup import LookupSource, SpaceCdnLookup
 from repro.spacecdn.placement import KPerPlanePlacement
-from repro.topology.routing import satellite_latencies, shortest_path
+from repro.topology.routing import satellite_latencies
 
 
 class TestAnalyticVsGraphModel:

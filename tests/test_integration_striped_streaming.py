@@ -6,7 +6,6 @@ fetched at playback time through the running system — which must serve them
 from space, mostly from the satellite that was planned to be overhead.
 """
 
-import numpy as np
 import pytest
 
 from repro.cdn.content import Catalog, ContentObject

@@ -2,11 +2,10 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.geo.datasets import cities_in_country, city_by_name
+from repro.geo.datasets import city_by_name
 from repro.measurements.aim import STARLINK, TERRESTRIAL, AimDataset, AimGenerator, SpeedTest
 
 

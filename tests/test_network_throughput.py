@@ -105,7 +105,7 @@ class TestUploadProfiles:
 class TestAimIntegration:
     def test_speed_tests_carry_download(self):
         from repro.geo.datasets import city_by_name
-        from repro.measurements.aim import STARLINK, TERRESTRIAL, AimGenerator
+        from repro.measurements.aim import STARLINK, AimGenerator
 
         generator = AimGenerator(seed=11)
         tests = generator.generate_city_tests(city_by_name("Maputo"), STARLINK, 10)

@@ -1,6 +1,5 @@
 """Tests for multi-shell fleets and access-satellite churn."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError, VisibilityError

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.constants import EARTH_RADIUS_KM
 from repro.errors import ConfigurationError
 from repro.orbits.elements import starlink_shell1
 from repro.orbits.walker import Constellation, build_walker_delta

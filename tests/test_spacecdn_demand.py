@@ -1,6 +1,5 @@
 """Tests for demand-aware duty cycling."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.errors import RoutingError
 from repro.geo.datasets import city_by_name
 from repro.network.bentpipe import StarlinkPathModel
 from repro.network.latency import LatencyNoise

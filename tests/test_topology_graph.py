@@ -5,7 +5,7 @@ import pytest
 from repro.constants import SPEED_OF_LIGHT_KM_S
 from repro.errors import ConfigurationError, VisibilityError
 from repro.geo.coordinates import GeoPoint
-from repro.topology.graph import access_latency_ms, build_snapshot, isl_latency_ms
+from repro.topology.graph import access_latency_ms, isl_latency_ms
 
 
 class TestLatencyFunctions:
