@@ -116,6 +116,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> str:
                 fractions=_parse_fractions(args.fractions),
                 shell=args.shell,
                 max_attempts=args.max_attempts,
+                batch=args.batch,
             )
         ),
         "table1": lambda: table1.format_result(
@@ -134,10 +135,20 @@ def _run_experiment(name: str, args: argparse.Namespace) -> str:
             figure5.run(seed=args.seed, rounds=args.rounds)
         ),
         "figure7": lambda: figure7.format_result(
-            figure7.run(seed=args.seed, users_per_epoch=args.users, num_epochs=args.epochs)
+            figure7.run(
+                seed=args.seed,
+                users_per_epoch=args.users,
+                num_epochs=args.epochs,
+                batch=args.batch,
+            )
         ),
         "figure8": lambda: figure8.format_result(
-            figure8.run(seed=args.seed, users_per_epoch=args.users, num_epochs=args.epochs)
+            figure8.run(
+                seed=args.seed,
+                users_per_epoch=args.users,
+                num_epochs=args.epochs,
+                batch=args.batch,
+            )
         ),
         "geoblocking": lambda: geoblocking.format_result(geoblocking.run()),
     }
@@ -170,6 +181,7 @@ def _build_plan(name: str, args: argparse.Namespace):
             fractions=_parse_fractions(args.fractions),
             shell=args.shell,
             max_attempts=args.max_attempts,
+            batch=args.batch,
         ),
         "table1": lambda: table1.build_plan(
             seed=args.seed, tests_per_city=args.tests_per_city
@@ -183,10 +195,16 @@ def _build_plan(name: str, args: argparse.Namespace):
         "figure4": lambda: figure4.build_plan(seed=args.seed, rounds=args.rounds),
         "figure5": lambda: figure5.build_plan(seed=args.seed, rounds=args.rounds),
         "figure7": lambda: figure7.build_plan(
-            seed=args.seed, users_per_epoch=args.users, num_epochs=args.epochs
+            seed=args.seed,
+            users_per_epoch=args.users,
+            num_epochs=args.epochs,
+            batch=args.batch,
         ),
         "figure8": lambda: figure8.build_plan(
-            seed=args.seed, users_per_epoch=args.users, num_epochs=args.epochs
+            seed=args.seed,
+            users_per_epoch=args.users,
+            num_epochs=args.epochs,
+            batch=args.batch,
         ),
         "geoblocking": lambda: geoblocking.build_plan(),
     }
@@ -334,6 +352,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="constellation for the chaos sweep (small = 6x8 smoke shell)",
     )
     run_cmd.add_argument("--max-attempts", type=int, default=3)
+    run_cmd.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="serve request cohorts through the vectorised batch path; "
+        "--no-batch keeps the scalar reference ladder one flag away for "
+        "debugging (chaos/figure7/figure8; recorded in the run manifest)",
+    )
     run_cmd.add_argument(
         "--out-dir",
         default=None,

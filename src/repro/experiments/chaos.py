@@ -203,6 +203,7 @@ def _sweep_point(
     seed: int,
     max_attempts: int,
     duty_cache_fraction: float,
+    batch: bool = True,
 ) -> dict:
     """One failure fraction's raw measurements (inflations are merge-time:
     they compare against the sweep's baseline point)."""
@@ -220,7 +221,7 @@ def _sweep_point(
             retry_policy=RetryPolicy(max_attempts=max_attempts),
         )
         system.preload(ctx.preload)
-        system.run(ctx.requests, continue_on_unavailable=True)
+        system.run(ctx.requests, continue_on_unavailable=True, batch=batch)
     stats = system.stats
     if rec.enabled and stats.availability is not None:
         rec.set_gauge(
@@ -273,15 +274,22 @@ def run(
     max_attempts: int = 3,
     duty_cache_fraction: float = 0.5,
     duty_users: int = 12,
+    batch: bool = True,
 ) -> ChaosResult:
-    """Sweep satellite-outage fractions over the request-level system."""
+    """Sweep satellite-outage fractions over the request-level system.
+
+    ``batch=False`` serves every request through the scalar reference
+    ladder instead of cohort batching — slower, but one flag away when
+    debugging a suspect vectorised path. Results are identical either way
+    (the property suite pins element-wise equality).
+    """
     if num_requests < 1:
         raise ConfigurationError("num_requests must be >= 1")
     if not fractions:
         raise ConfigurationError("need at least one failure fraction")
     ctx = _sweep_context(seed, num_requests, shell, duty_users)
     raw_points = [
-        _sweep_point(ctx, fraction, seed, max_attempts, duty_cache_fraction)
+        _sweep_point(ctx, fraction, seed, max_attempts, duty_cache_fraction, batch)
         for fraction in sorted(fractions)
     ]
     return ChaosResult(shell=shell, points=_points_from_raw(raw_points))
@@ -295,6 +303,7 @@ def build_plan(
     max_attempts: int = 3,
     duty_cache_fraction: float = 0.5,
     duty_users: int = 12,
+    batch: bool = True,
 ) -> ExperimentPlan:
     """Sharded chaos sweep: one shard per failure fraction.
 
@@ -315,7 +324,9 @@ def build_plan(
     def run_shard(shard_id: str) -> dict:
         fraction = ordered[shard_ids.index(shard_id)]
         ctx = _sweep_context(seed, num_requests, shell, duty_users)
-        return _sweep_point(ctx, fraction, seed, max_attempts, duty_cache_fraction)
+        return _sweep_point(
+            ctx, fraction, seed, max_attempts, duty_cache_fraction, batch
+        )
 
     def merge(payloads: dict) -> ChaosResult:
         raw_points = [payloads[shard_id] for shard_id in shard_ids]
@@ -332,6 +343,7 @@ def build_plan(
             "max_attempts": max_attempts,
             "duty_cache_fraction": duty_cache_fraction,
             "duty_users": duty_users,
+            "batch": batch,
         },
         shard_ids=shard_ids,
         run_shard=run_shard,

@@ -55,8 +55,13 @@ def run(
     users_per_epoch: int = 20,
     num_epochs: int = 4,
     fractions: tuple[float, ...] = CACHE_FRACTIONS,
+    batch: bool = True,
 ) -> Figure8Result:
-    """Regenerate Fig. 8: latency vs duty-cycle cache fraction."""
+    """Regenerate Fig. 8: latency vs duty-cycle cache fraction.
+
+    ``batch=False`` resolves each user through the scalar duty-cycle
+    lookup instead of the vectorised cohort pass (the debugging reference).
+    """
     if users_per_epoch < 1 or num_epochs < 1:
         raise ConfigurationError("users_per_epoch and num_epochs must be >= 1")
     rng = seeded_rng(seed, 0xF18)
@@ -64,7 +69,7 @@ def run(
     samples: dict[float, list[float]] = {f: [] for f in fractions}
     for epoch in shell1_epochs(num_epochs, seed):
         users = user_sample_points(rng, users_per_epoch)
-        per_epoch = epoch_fraction_samples(epoch, users, fractions, seed)
+        per_epoch = epoch_fraction_samples(epoch, users, fractions, seed, batch)
         for fraction in fractions:
             samples[fraction].extend(per_epoch[fraction])
 
@@ -82,6 +87,7 @@ def epoch_fraction_samples(
     users: list[GeoPoint],
     fractions: tuple[float, ...],
     seed: int,
+    batch: bool = True,
 ) -> dict[float, list[float]]:
     """One epoch's RTT samples per cache fraction (the sharding unit)."""
     constellation = shell1_constellation()
@@ -96,10 +102,16 @@ def epoch_fraction_samples(
                 seed=seed,
             ),
         )
-        one_way = model.one_way_ms_batch(users)
-        samples[fraction] = [
-            float(v) for v in 2.0 * one_way + CDN_SERVER_THINK_TIME_MS
-        ]
+        if batch:
+            one_way = model.one_way_ms_batch(users)
+            samples[fraction] = [
+                float(v) for v in 2.0 * one_way + CDN_SERVER_THINK_TIME_MS
+            ]
+        else:
+            samples[fraction] = [
+                float(2.0 * model.one_way_ms(user) + CDN_SERVER_THINK_TIME_MS)
+                for user in users
+            ]
     return samples
 
 
@@ -108,6 +120,7 @@ def build_plan(
     users_per_epoch: int = 20,
     num_epochs: int = 4,
     fractions: tuple[float, ...] = CACHE_FRACTIONS,
+    batch: bool = True,
 ) -> ExperimentPlan:
     """Sharded Fig. 8: one shard per epoch plus the terrestrial reference.
 
@@ -127,7 +140,7 @@ def build_plan(
         index = epoch_ids.index(shard_id)
         epoch = shell1_epochs(num_epochs, seed)[index]
         users = user_sample_points(seeded_rng(seed, 0xF18, index), users_per_epoch)
-        per_epoch = epoch_fraction_samples(epoch, users, fractions, seed)
+        per_epoch = epoch_fraction_samples(epoch, users, fractions, seed, batch)
         return {"samples": [[f, per_epoch[f]] for f in fractions]}
 
     def merge(payloads: dict) -> Figure8Result:
@@ -149,6 +162,7 @@ def build_plan(
             "users_per_epoch": users_per_epoch,
             "num_epochs": num_epochs,
             "fractions": list(fractions),
+            "batch": batch,
         },
         shard_ids=("aim",) + epoch_ids,
         run_shard=run_shard,

@@ -38,9 +38,19 @@ def _fmt_ms(value: float) -> str:
 
 
 def summarize_trace(spans: Iterable[dict]) -> str:
-    """Render the tier tables of one serve-path trace."""
+    """Render the tier tables of one serve-path trace.
+
+    Understands both trace shapes the serve layer emits: scalar serving
+    (one ``serve`` span per request with per-``attempt`` children) and
+    batched serving (one ``serve_cohort`` span per cohort with per-``rung``
+    attempt-count children). Mixed traces aggregate across both; cohort
+    spans carry no per-request RTTs, so RTT quantile columns render "n/a"
+    for tiers served only by cohorts (the RTT histogram in the metrics file
+    keeps the distribution either way).
+    """
     serve_rtts: dict[str, list[float]] = {}
     serve_fallbacks: dict[str, int] = {}
+    cohort_served: dict[str, int] = {}
     unavailable = 0
     requests = 0
     attempt_counts: dict[str, dict[str, int]] = {}
@@ -57,6 +67,17 @@ def summarize_trace(spans: Iterable[dict]) -> str:
             serve_rtts.setdefault(tier, []).append(float(span.get("rtt_ms", 0.0)))
             if span.get("fallback_reason") is not None:
                 serve_fallbacks[tier] = serve_fallbacks.get(tier, 0) + 1
+        elif kind == "serve_cohort":
+            requests += int(span.get("size", 0))
+            unavailable += int(span.get("unavailable", 0))
+        elif kind == "rung":
+            tier = span.get("tier", "?")
+            outcome = span.get("outcome", "?")
+            count = int(span.get("count", 0))
+            per_tier = attempt_counts.setdefault(tier, {})
+            per_tier[outcome] = per_tier.get(outcome, 0) + count
+            if outcome == "served":
+                cohort_served[tier] = cohort_served.get(tier, 0) + count
         elif kind == "attempt":
             tier = span.get("tier", "?")
             outcome = span.get("outcome", "?")
@@ -75,7 +96,7 @@ def summarize_trace(spans: Iterable[dict]) -> str:
     serve_rows = []
     for tier in tiers:
         rtts = sorted(serve_rtts.get(tier, []))
-        hits = len(rtts)
+        hits = len(rtts) + cohort_served.get(tier, 0)
         serve_rows.append(
             (
                 tier,

@@ -79,6 +79,104 @@ def visible_satellites(
     ]
 
 
+@dataclass(frozen=True)
+class VisibilityBatch:
+    """Visibility of the whole constellation from many ground points at once.
+
+    One ``(P, N)`` elevation/slant-range pass shared by a request cohort:
+    satellite positions are computed once per epoch instead of once per
+    request, and each point's sorted visible list is derived from its row
+    with exactly the per-point operations :func:`visible_satellites` uses —
+    ``order[p]`` reproduces that function's satellite ordering (ascending
+    slant range over the usable set) element for element.
+    """
+
+    elevations_deg: np.ndarray
+    """``(P, N)`` elevation of every satellite above every point's horizon."""
+    slant_ranges_km: np.ndarray
+    """``(P, N)`` straight-line distance from every point to every satellite."""
+    order: list[np.ndarray]
+    """Per-point usable satellite indices, ascending slant range. Empty
+    array when the point sees nothing (callers decide whether that is an
+    error)."""
+
+    @property
+    def num_points(self) -> int:
+        return len(self.order)
+
+    def access(self, point_index: int) -> tuple[int, float]:
+        """(satellite, slant km) of the access pick for one point.
+
+        Raises :class:`VisibilityError` when the point sees no satellite.
+        """
+        order = self.order[point_index]
+        if order.size == 0:
+            raise VisibilityError(
+                f"no satellite visible from point {point_index} of this batch"
+            )
+        best = int(order[0])
+        return best, float(self.slant_ranges_km[point_index, best])
+
+    def visible_list(self, point_index: int) -> list[VisibleSatellite]:
+        """The point's view as :func:`visible_satellites` would return it."""
+        row_elev = self.elevations_deg[point_index]
+        row_range = self.slant_ranges_km[point_index]
+        return [
+            VisibleSatellite(
+                index=int(i),
+                elevation_deg=float(row_elev[i]),
+                slant_range_km=float(row_range[i]),
+            )
+            for i in self.order[point_index]
+        ]
+
+
+def visible_satellites_batch(
+    constellation: Constellation,
+    points: list[GeoPoint],
+    t_s: float,
+    min_elevation_deg: float = MIN_ELEVATION_USER_DEG,
+) -> VisibilityBatch:
+    """Vectorised :func:`visible_satellites` over many ground points.
+
+    Builds the ``(P, N)`` elevation and slant-range matrices over *shared*
+    satellite positions — the O(N) trig of ``positions_ecef`` runs once per
+    epoch instead of once per request. Each point's row is computed with
+    the exact per-point expression :func:`visible_satellites` evaluates
+    (same dot product, same clip, same argsort), so the derived ordering is
+    bit-for-bit the scalar one — the batched serve path leans on that
+    agreement for element-wise equivalence with scalar serving. A
+    broadcast ``einsum`` over the ``(P, N, 3)`` line-of-sight tensor would
+    be marginally faster but drifts in the last float bit, which is enough
+    to flip near-threshold visibility and near-tie orderings.
+    """
+    num_sats = len(constellation)
+    if not points:
+        return VisibilityBatch(
+            elevations_deg=np.zeros((0, num_sats)),
+            slant_ranges_km=np.zeros((0, num_sats)),
+            order=[],
+        )
+    sat = constellation.positions_ecef(t_s)
+    elevations = np.empty((len(points), num_sats))
+    ranges = np.empty((len(points), num_sats))
+    order = []
+    for p, point in enumerate(points):
+        obs, obs_norm = _observer_arrays(point)
+        los = sat - obs
+        row_ranges = np.linalg.norm(los, axis=1)
+        cos_zenith = (los @ obs) / (row_ranges * obs_norm)
+        np.clip(cos_zenith, -1.0, 1.0, out=cos_zenith)
+        row_elev = 90.0 - np.degrees(np.arccos(cos_zenith))
+        elevations[p] = row_elev
+        ranges[p] = row_ranges
+        usable = np.flatnonzero(row_elev >= min_elevation_deg)
+        order.append(usable[np.argsort(row_ranges[usable])])
+    return VisibilityBatch(
+        elevations_deg=elevations, slant_ranges_km=ranges, order=order
+    )
+
+
 def nearest_visible_satellites(
     constellation: Constellation,
     points: list[GeoPoint],

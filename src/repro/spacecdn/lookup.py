@@ -44,8 +44,28 @@ def nearest_cached_satellite(
     hops, latencies = fastcore.single_source(
         snapshot.core, access_satellite, snapshot.active_mask
     )
+    return nearest_cached_from_rows(
+        hops, latencies, cache_satellites, max_hops, min_hops
+    )
+
+
+def nearest_cached_from_rows(
+    hops: np.ndarray,
+    latencies: np.ndarray,
+    cache_satellites: frozenset[int] | set[int],
+    max_hops: int,
+    min_hops: int = 0,
+) -> tuple[int, int, float] | None:
+    """:func:`nearest_cached_satellite` over precomputed routing rows.
+
+    ``hops``/``latencies`` are the ``(N,)`` single-source rows of the access
+    satellite (already masked for failures by the routing kernel). The
+    batched serve path holds these rows in per-rung matrices and calls this
+    for the handful of requests whose holder sets changed mid-cohort.
+    """
+    num_nodes = hops.shape[0]
     candidates = np.fromiter(
-        (s for s in sorted(cache_satellites) if 0 <= s < snapshot.core.num_nodes),
+        (s for s in sorted(cache_satellites) if 0 <= s < num_nodes),
         dtype=np.int64,
     )
     if candidates.size == 0:
@@ -62,6 +82,36 @@ def nearest_cached_satellite(
         return None
     best = int(candidates[np.argmin(latencies[candidates])])
     return best, int(hops[best]), float(latencies[best])
+
+
+def nearest_cached_batch(
+    hops: np.ndarray,
+    latencies: np.ndarray,
+    holders: np.ndarray,
+    max_hops: int,
+    min_hops: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`nearest_cached_satellite` over aligned request rows.
+
+    ``hops``/``latencies`` are ``(R, N)`` routing rows (request ``r``'s
+    access satellite's single-source pass) and ``holders`` the ``(R, N)``
+    boolean holders bitmap rows. Returns ``(found, best)``: ``found[r]``
+    whether any in-range holder exists, ``best[r]`` its satellite index
+    (meaningful only where ``found``). Ties on latency resolve to the
+    lowest satellite index — ``argmin`` over the inf-masked row returns the
+    first minimum, matching the scalar sorted-candidate scan.
+    """
+    eligible = (
+        holders
+        & (hops >= min_hops)
+        & (hops != fastcore.HOP_UNREACHABLE)
+        & (hops <= max_hops)
+        & np.isfinite(latencies)
+    )
+    masked = np.where(eligible, latencies, np.inf)
+    best = masked.argmin(axis=1)
+    found = eligible[np.arange(len(best)), best]
+    return found, best
 
 
 def ranked_cached_satellites(
@@ -85,9 +135,29 @@ def ranked_cached_satellites(
     hops, latencies = fastcore.single_source(
         snapshot.core, access_satellite, snapshot.active_mask
     )
+    return ranked_cached_from_rows(
+        hops, latencies, cache_satellites, max_hops, min_hops, exclude
+    )
+
+
+def ranked_cached_from_rows(
+    hops: np.ndarray,
+    latencies: np.ndarray,
+    cache_satellites: frozenset[int] | set[int],
+    max_hops: int,
+    min_hops: int = 0,
+    exclude: frozenset[int] = frozenset(),
+) -> list[tuple[int, int, float]]:
+    """:func:`ranked_cached_satellites` over precomputed routing rows.
+
+    The degraded batch path precomputes each access satellite's masked
+    single-source rows once per cohort and builds every request's ladder
+    from them, instead of re-running the masked routing pass per request.
+    """
+    num_nodes = hops.shape[0]
     ranked = []
-    for satellite in sorted(cache_satellites - exclude):
-        if not 0 <= satellite < snapshot.core.num_nodes:
+    for satellite in sorted(set(cache_satellites) - exclude):
+        if not 0 <= satellite < num_nodes:
             continue
         h = int(hops[satellite])
         if h == fastcore.HOP_UNREACHABLE or not min_hops <= h <= max_hops:

@@ -14,9 +14,13 @@ levels and latency samples.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.cdn.cache import Cache, LruCache
+import numpy as np
+
+from repro.cdn.cache import Cache, HoldersIndex, LruCache
 from repro.cdn.content import Catalog
 from repro.constants import CDN_SERVER_THINK_TIME_MS, MIN_ELEVATION_USER_DEG
 from repro.errors import ConfigurationError, UnavailableError
@@ -26,9 +30,13 @@ from repro.obs.recorder import get_recorder
 from repro.orbits.walker import Constellation
 from repro.spacecdn.lookup import (
     LookupSource,
+    nearest_cached_batch,
+    nearest_cached_from_rows,
     nearest_cached_satellite,
+    ranked_cached_from_rows,
     ranked_cached_satellites,
 )
+from repro.topology import fastcore
 from repro.topology.graph import SnapshotGraph, access_latency_ms, build_snapshot
 from repro.workloads.requests import Request
 
@@ -152,7 +160,7 @@ class SpaceCdnSystem:
 
     stats: SystemStats = field(default_factory=SystemStats)
     _caches: dict[int, Cache] = field(default_factory=dict, repr=False)
-    _index: dict[str, set[int]] = field(default_factory=dict, repr=False)
+    _index: HoldersIndex = field(default_factory=HoldersIndex, repr=False)
     _snapshot: SnapshotGraph | None = field(default=None, repr=False)
     _snapshot_slot: int = field(default=-1, repr=False)
     _degraded: SnapshotGraph | None = field(default=None, repr=False)
@@ -185,7 +193,7 @@ class SpaceCdnSystem:
 
     def holders_of(self, object_id: str) -> frozenset[int]:
         """Satellites currently caching an object."""
-        return frozenset(self._index.get(object_id, ()))
+        return self._index.holders(object_id)
 
     def _store(self, satellite: int, object_id: str) -> None:
         """Insert an object into a satellite's cache, maintaining the index."""
@@ -195,12 +203,8 @@ class SpaceCdnSystem:
             return  # too large to cache anywhere; served pass-through
         evicted = cache.put(obj)
         for victim in evicted:
-            holders = self._index.get(victim)
-            if holders is not None:
-                holders.discard(satellite)
-                if not holders:
-                    del self._index[victim]
-        self._index.setdefault(object_id, set()).add(satellite)
+            self._index.discard(victim, satellite)
+        self._index.add(object_id, satellite)
 
     def preload(self, placement: dict[str, frozenset[int]]) -> int:
         """Push a placement plan into the on-board caches; returns stores done."""
@@ -295,12 +299,7 @@ class SpaceCdnSystem:
         if cache is None:
             return 0
         wiped = cache.object_ids()
-        for object_id in wiped:
-            holders = self._index.get(object_id)
-            if holders is not None:
-                holders.discard(satellite)
-                if not holders:
-                    del self._index[object_id]
+        self._index.drop_satellite(satellite, wiped)
         cache.clear()
         return len(wiped)
 
@@ -451,6 +450,7 @@ class SpaceCdnSystem:
         degraded: SnapshotGraph,
         live_visible: list,
         object_id: str,
+        rows: tuple | None = None,
     ) -> list[tuple[LookupSource, int, int, float]]:
         """Every live serving option for one request, cheapest-rung first.
 
@@ -459,6 +459,10 @@ class SpaceCdnSystem:
         ISL ladder ranked by latency. Each satellite appears once, at its
         cheapest rung; failed satellites never appear (the degraded
         snapshot's mask removes them from every routing pass).
+
+        ``rows`` optionally supplies the access satellite's precomputed
+        masked ``(hops, latencies)`` single-source rows — the batched path
+        computes them once per cohort instead of once per request.
         """
         holders = self.holders_of(object_id)
         if not holders:
@@ -490,14 +494,21 @@ class SpaceCdnSystem:
                 )
                 seen.add(candidate.index)
         access_rtt = 2.0 * access_latency_ms(access.slant_range_km)
-        for satellite, hops, isl_one_way in ranked_cached_satellites(
-            degraded,
-            access.index,
-            holders,
-            self.max_hops,
-            min_hops=1,
-            exclude=frozenset(seen),
-        ):
+        if rows is not None:
+            ranked = ranked_cached_from_rows(
+                rows[0], rows[1], holders, self.max_hops,
+                min_hops=1, exclude=frozenset(seen),
+            )
+        else:
+            ranked = ranked_cached_satellites(
+                degraded,
+                access.index,
+                holders,
+                self.max_hops,
+                min_hops=1,
+                exclude=frozenset(seen),
+            )
+        for satellite, hops, isl_one_way in ranked:
             ladder.append(
                 (
                     LookupSource.ISL_NEIGHBOR,
@@ -517,7 +528,30 @@ class SpaceCdnSystem:
         view: FaultView,
         degraded: SnapshotGraph,
     ) -> ServedRequest:
-        """One request through the fallback ladder under the fault masks.
+        """One request through the fallback ladder under the fault masks."""
+        from repro.orbits.visibility import visible_satellites
+
+        visible = visible_satellites(
+            self.constellation, user, snapshot.t_s, self.min_elevation_deg
+        )
+        live_visible = [s for s in visible if degraded.has_satellite(s.index)]
+        return self._serve_degraded_prepared(
+            user, object_id, t_s, live_visible, view, degraded
+        )
+
+    def _serve_degraded_prepared(
+        self,
+        user: GeoPoint,
+        object_id: str,
+        t_s: float,
+        live_visible: list,
+        view: FaultView,
+        degraded: SnapshotGraph,
+        rows: tuple | None = None,
+        attempt_counts=None,
+        span: bool = True,
+    ) -> ServedRequest:
+        """The degraded attempt walk, over already-resolved visibility.
 
         Walks the ladder rung by rung: each tried rung is one attempt;
         attempts abandoned to the per-attempt RTT budget or to transient
@@ -525,33 +559,51 @@ class SpaceCdnSystem:
         rung (when the ground segment is up) absorbs the remaining retry
         budget. A request that exhausts the ladder or the budget raises
         :class:`~repro.errors.UnavailableError` — never anything else.
-        """
-        from repro.orbits.visibility import visible_satellites
 
+        The scalar path passes only the live visible list; the batched path
+        additionally supplies precomputed masked routing ``rows`` for the
+        access satellite, a per-cohort ``attempt_counts`` accumulator
+        (``Counter[(tier, outcome)]``), and ``span=False`` to fold tracing
+        into the cohort span.
+        """
         policy = self.retry_policy
         request_index = self._request_counter
         self._request_counter += 1
         rec = get_recorder()
-        attempt_log: list[dict] | None = [] if rec.enabled else None
-
-        visible = visible_satellites(
-            self.constellation, user, snapshot.t_s, self.min_elevation_deg
+        attempt_log: list[dict] | None = (
+            [] if (rec.enabled and span) else None
         )
-        live_visible = [s for s in visible if degraded.has_satellite(s.index)]
+
+        def _note(tier, satellite, hops, retry_index, outcome, contrib):
+            if attempt_log is not None:
+                attempt_log.append(
+                    {
+                        "tier": tier,
+                        "satellite": satellite,
+                        "hops": hops,
+                        "retry_index": retry_index,
+                        "outcome": outcome,
+                        "rtt_contribution_ms": contrib,
+                    }
+                )
+            if attempt_counts is not None:
+                attempt_counts[(tier, outcome)] += 1
+
         if not live_visible:
             self.stats.unavailable += 1
             if rec.enabled:
                 rec.inc("repro_serve_unavailable_total", (("reason", "no-sky"),))
-                self._emit_serve_trace(
-                    rec, object_id, t_s, "unavailable", None, None, 0, None,
-                    0, "no-sky", attempt_log, view,
-                )
+                if span:
+                    self._emit_serve_trace(
+                        rec, object_id, t_s, "unavailable", None, None, 0, None,
+                        0, "no-sky", attempt_log, view,
+                    )
             raise UnavailableError(
                 f"no live satellite visible from ({user.lat_deg:.1f}, "
                 f"{user.lon_deg:.1f}) under the active fault schedule"
             )
         access = live_visible[0]
-        ladder = self._fallback_ladder(degraded, live_visible, object_id)
+        ladder = self._fallback_ladder(degraded, live_visible, object_id, rows)
 
         attempts = 0
         backoff_ms = 0.0
@@ -565,48 +617,24 @@ class SpaceCdnSystem:
                 self.stats.timeouts += 1
                 step_ms = policy.backoff_ms(attempts)
                 backoff_ms += step_ms
-                if attempt_log is not None:
-                    attempt_log.append(
-                        {
-                            "tier": TIER_OF_SOURCE[source],
-                            "satellite": satellite,
-                            "hops": hops,
-                            "retry_index": attempts,
-                            "outcome": "transient-loss",
-                            "rtt_contribution_ms": step_ms,
-                        }
-                    )
+                _note(
+                    TIER_OF_SOURCE[source], satellite, hops, attempts,
+                    "transient-loss", step_ms,
+                )
                 continue
             if not policy.within_budget(rtt):
                 reason = "attempt-timeout"
                 self.stats.timeouts += 1
                 step_ms = policy.backoff_ms(attempts)
                 backoff_ms += step_ms
-                if attempt_log is not None:
-                    attempt_log.append(
-                        {
-                            "tier": TIER_OF_SOURCE[source],
-                            "satellite": satellite,
-                            "hops": hops,
-                            "retry_index": attempts,
-                            "outcome": "attempt-timeout",
-                            "rtt_contribution_ms": step_ms,
-                        }
-                    )
+                _note(
+                    TIER_OF_SOURCE[source], satellite, hops, attempts,
+                    "attempt-timeout", step_ms,
+                )
                 continue
             self.cache_of(satellite).get(object_id)  # count the hit
             self.stats.retries += attempts - 1
-            if attempt_log is not None:
-                attempt_log.append(
-                    {
-                        "tier": TIER_OF_SOURCE[source],
-                        "satellite": satellite,
-                        "hops": hops,
-                        "retry_index": attempts,
-                        "outcome": "served",
-                        "rtt_contribution_ms": rtt,
-                    }
-                )
+            _note(TIER_OF_SOURCE[source], satellite, hops, attempts, "served", rtt)
             return self._record(
                 object_id,
                 t_s,
@@ -618,6 +646,7 @@ class SpaceCdnSystem:
                 fallback_reason=reason,
                 attempt_log=attempt_log,
                 view=view,
+                span=span,
             )
 
         # Ground rung: retried until the attempt budget runs out.
@@ -629,48 +658,18 @@ class SpaceCdnSystem:
                 self.stats.timeouts += 1
                 step_ms = policy.backoff_ms(attempts)
                 backoff_ms += step_ms
-                if attempt_log is not None:
-                    attempt_log.append(
-                        {
-                            "tier": "ground",
-                            "satellite": None,
-                            "hops": 0,
-                            "retry_index": attempts,
-                            "outcome": "transient-loss",
-                            "rtt_contribution_ms": step_ms,
-                        }
-                    )
+                _note("ground", None, 0, attempts, "transient-loss", step_ms)
                 continue
             if not policy.within_budget(self.ground_rtt_ms):
                 reason = "ground-timeout"
                 self.stats.timeouts += 1
                 step_ms = policy.backoff_ms(attempts)
                 backoff_ms += step_ms
-                if attempt_log is not None:
-                    attempt_log.append(
-                        {
-                            "tier": "ground",
-                            "satellite": None,
-                            "hops": 0,
-                            "retry_index": attempts,
-                            "outcome": "ground-timeout",
-                            "rtt_contribution_ms": step_ms,
-                        }
-                    )
+                _note("ground", None, 0, attempts, "ground-timeout", step_ms)
                 continue
             self._store(access.index, object_id)
             self.stats.retries += attempts - 1
-            if attempt_log is not None:
-                attempt_log.append(
-                    {
-                        "tier": "ground",
-                        "satellite": None,
-                        "hops": 0,
-                        "retry_index": attempts,
-                        "outcome": "served",
-                        "rtt_contribution_ms": self.ground_rtt_ms,
-                    }
-                )
+            _note("ground", None, 0, attempts, "served", self.ground_rtt_ms)
             return self._record(
                 object_id,
                 t_s,
@@ -682,6 +681,7 @@ class SpaceCdnSystem:
                 fallback_reason=reason if reason is not None else ground_reason,
                 attempt_log=attempt_log,
                 view=view,
+                span=span,
             )
 
         self.stats.retries += max(0, attempts - 1)
@@ -693,10 +693,11 @@ class SpaceCdnSystem:
             rec.inc(
                 "repro_serve_unavailable_total", (("reason", exhausted_reason),)
             )
-            self._emit_serve_trace(
-                rec, object_id, t_s, "unavailable", None, None, 0, None,
-                attempts, exhausted_reason, attempt_log, view,
-            )
+            if span:
+                self._emit_serve_trace(
+                    rec, object_id, t_s, "unavailable", None, None, 0, None,
+                    attempts, exhausted_reason, attempt_log, view,
+                )
         if view.ground_segment_down:
             raise UnavailableError(
                 f"object {object_id!r}: fallback ladder exhausted after "
@@ -711,8 +712,411 @@ class SpaceCdnSystem:
         """Serve one workload :class:`~repro.workloads.requests.Request`."""
         return self.serve(request.city.location, request.object_id, request.t_s)
 
+    # -- the batched serve path ------------------------------------------------
+
+    def serve_batch(
+        self,
+        users: Sequence[GeoPoint],
+        object_ids: Sequence[str],
+        t_s: float | Sequence[float],
+        continue_on_unavailable: bool = False,
+    ) -> list[ServedRequest | None]:
+        """Serve a whole cohort of requests sharing one snapshot epoch.
+
+        Element-wise equivalent to calling :meth:`serve` for each
+        ``(users[i], object_ids[i], t_s[i])`` in order — same results, same
+        cache/stat/fault-determinism side effects — but the per-request
+        O(N) work is hoisted to per-cohort array passes: one visibility
+        matrix over the unique users, one routing pass over the unique
+        access satellites (masked once for the whole cohort under faults),
+        and cache lookups as membership tests against the holders bitmap.
+        Cohort-time cache mutations (pull-through stores, evictions, LRU
+        churn) are applied in request order against the real caches; the
+        incremental dirty tracking of
+        :class:`~repro.cdn.cache.HoldersIndex` re-resolves only the
+        requests whose holder sets changed mid-cohort.
+
+        ``t_s`` may be a scalar (the whole cohort at one instant) or a
+        per-request sequence; all times must land in the *same* snapshot
+        slot — :meth:`run` with ``batch=True`` does the slot grouping.
+
+        Returns one entry per request, in order. Under a fault schedule
+        with ``continue_on_unavailable``, requests that exhaust the ladder
+        keep their slot as ``None`` (they are counted in
+        ``stats.unavailable``, exactly as the scalar path counts them);
+        without it the first such request raises
+        :class:`~repro.errors.UnavailableError` after the preceding
+        requests' effects are applied, as the scalar loop would.
+
+        With an enabled recorder the cohort emits one ``serve_cohort``
+        trace span carrying per-rung attempt counts (instead of one span
+        per request), while per-request counters and the RTT histogram
+        stay identical to scalar serving.
+        """
+        num = len(users)
+        if len(object_ids) != num:
+            raise ConfigurationError(
+                f"cohort mismatch: {num} users but {len(object_ids)} object ids"
+            )
+        if num == 0:
+            return []
+        if isinstance(t_s, (int, float)):
+            times = [float(t_s)] * num
+        else:
+            times = [float(t) for t in t_s]
+            if len(times) != num:
+                raise ConfigurationError(
+                    f"cohort mismatch: {num} users but {len(times)} times"
+                )
+        snapshot = self.snapshot_at(times[0])
+        slot = self._snapshot_slot
+        for t in times:
+            if t < 0:
+                raise ConfigurationError(f"negative time: {t}")
+            if int(t // self.snapshot_interval_s) != slot:
+                raise ConfigurationError(
+                    "cohort spans multiple snapshot slots; split it at "
+                    "snapshot boundaries (run(batch=True) does this)"
+                )
+        degraded_mode = (
+            self.fault_schedule is not None and not self.fault_schedule.is_empty
+        )
+        if degraded_mode:
+            view, degraded = self._fault_state_at(snapshot)
+
+        from repro.orbits.visibility import visible_satellites_batch
+
+        u_of: dict[GeoPoint, int] = {}
+        u_idx = np.empty(num, dtype=np.int64)
+        unique_users: list[GeoPoint] = []
+        for r, user in enumerate(users):
+            i = u_of.get(user)
+            if i is None:
+                i = len(unique_users)
+                u_of[user] = i
+                unique_users.append(user)
+            u_idx[r] = i
+        vb = visible_satellites_batch(
+            self.constellation, unique_users, snapshot.t_s, self.min_elevation_deg
+        )
+
+        rec = get_recorder()
+        counts: Counter | None = Counter() if rec.enabled else None
+        results: list[ServedRequest | None] = []
+        try:
+            if degraded_mode:
+                self._serve_batch_degraded(
+                    users, object_ids, times, u_idx, vb, view, degraded,
+                    counts, continue_on_unavailable, results,
+                )
+            else:
+                self._serve_batch_healthy(
+                    users, object_ids, times, u_idx, vb, snapshot,
+                    counts, results,
+                )
+        finally:
+            if rec.enabled:
+                unavailable = sum(1 for r in results if r is None)
+                span = rec.open_span(
+                    "serve_cohort",
+                    t_s=times[0],
+                    size=num,
+                    served=len(results) - unavailable,
+                    unavailable=unavailable,
+                    mode="degraded" if degraded_mode else "healthy",
+                )
+                for (tier, outcome), count in sorted(counts.items()):
+                    span.child("rung", tier=tier, outcome=outcome, count=count)
+                    rec.inc(
+                        "repro_serve_attempts_total",
+                        (("tier", tier), ("outcome", outcome)),
+                        count,
+                    )
+        return results
+
+    def _serve_batch_healthy(
+        self,
+        users: Sequence[GeoPoint],
+        object_ids: Sequence[str],
+        times: list[float],
+        u_idx: np.ndarray,
+        vb,
+        snapshot: SnapshotGraph,
+        counts: Counter | None,
+        results: list,
+    ) -> None:
+        """The fault-free cohort: vectorised decisions, in-order application.
+
+        Three phases. (1) Per-cohort matrices: access pick and routing rows
+        per unique user, the holders bitmap over the cohort's unique
+        objects. (2) A provisional vectorised ladder decision per unique
+        ``(user, object)`` pair against cohort-start holders — masked
+        first-hit for the direct-visible rung, masked argmin for the ISL
+        rung. (3) The in-order apply loop performing the *same* cache
+        operations as scalar serving; a request whose object's holders
+        changed mid-cohort (pull-through store or eviction, tracked by the
+        index's dirty set) ignores its provisional decision and re-resolves
+        from the live index against the same routing rows.
+        """
+        core = snapshot.core
+        n = core.num_nodes
+        num = len(object_ids)
+        num_u = vb.num_points
+
+        acc_of_u = np.full(num_u, -1, dtype=np.int64)
+        slant_of_u = np.zeros(num_u)
+        for i in range(num_u):
+            order = vb.order[i]
+            if order.size:
+                a = int(order[0])
+                acc_of_u[i] = a
+                slant_of_u[i] = vb.slant_ranges_km[i, a]
+        seen_acc = sorted({int(a) for a in acc_of_u if a >= 0})
+        if seen_acc:
+            hops_m, lats_m = fastcore.single_source_batch(
+                core, seen_acc, snapshot.active_mask
+            )
+        else:
+            hops_m = np.empty((0, n), dtype=np.int32)
+            lats_m = np.empty((0, n))
+        row_of_acc = {a: i for i, a in enumerate(seen_acc)}
+        accrow_of_u = np.fromiter(
+            (row_of_acc.get(int(a), -1) for a in acc_of_u),
+            dtype=np.int64,
+            count=num_u,
+        )
+
+        o_of: dict[str, int] = {}
+        o_idx = np.empty(num, dtype=np.int64)
+        unique_oids: list[str] = []
+        for r, oid in enumerate(object_ids):
+            i = o_of.get(oid)
+            if i is None:
+                i = len(unique_oids)
+                o_of[oid] = i
+                unique_oids.append(oid)
+            o_idx[r] = i
+        holders_m = self._index.holders_matrix(unique_oids, n)
+
+        # Padded per-user visibility order for the direct-visible rung scan;
+        # column 0 (the access satellite) is excluded, as in scalar serving.
+        vmax = max((order.size for order in vb.order), default=0)
+        opad = np.zeros((num_u, max(vmax, 1)), dtype=np.int64)
+        valid = np.zeros((num_u, max(vmax, 1)), dtype=bool)
+        for i, order in enumerate(vb.order):
+            opad[i, : order.size] = order
+            valid[i, : order.size] = True
+        valid[:, 0] = False
+
+        num_o = len(unique_oids)
+        codes = u_idx * num_o + o_idx
+        pair_codes, pair_of_r = np.unique(codes, return_inverse=True)
+        pair_u = (pair_codes // num_o).astype(np.int64)
+        pair_o = (pair_codes % num_o).astype(np.int64)
+        p_total = len(pair_codes)
+        p_src = np.full(p_total, 3, dtype=np.int8)  # 1 direct / 2 isl / 3 ground
+        p_sat = np.full(p_total, -1, dtype=np.int64)
+        p_hops = np.zeros(p_total, dtype=np.int64)
+        p_lat = np.zeros(p_total)
+        chunk = 2048  # bounds the (chunk, N) work arrays to a few tens of MB
+        if seen_acc:
+            for lo in range(0, p_total, chunk):
+                hi = min(lo + chunk, p_total)
+                cu = pair_u[lo:hi]
+                hp = holders_m[pair_o[lo:hi]]  # (C, N) cohort-start copy
+                rows_ord = opad[cu]
+                vis_hold = np.take_along_axis(hp, rows_ord, axis=1) & valid[cu]
+                has_direct = vis_hold.any(axis=1)
+                arange_c = np.arange(hi - lo)
+                direct_sat = rows_ord[arange_c, vis_hold.argmax(axis=1)]
+                rowsel = accrow_of_u[cu]
+                safe_row = np.where(rowsel >= 0, rowsel, 0)
+                hops_c = hops_m[safe_row]
+                lats_c = lats_m[safe_row]
+                found, best = nearest_cached_batch(
+                    hops_c, lats_c, hp, self.max_hops, min_hops=1
+                )
+                found &= rowsel >= 0
+                p_src[lo:hi] = np.where(has_direct, 1, np.where(found, 2, 3))
+                p_sat[lo:hi] = np.where(
+                    has_direct, direct_sat, np.where(found, best, -1)
+                )
+                isl_rows = np.flatnonzero(~has_direct & found)
+                p_hops[lo + isl_rows] = hops_c[isl_rows, best[isl_rows]]
+                p_lat[lo + isl_rows] = lats_c[isl_rows, best[isl_rows]]
+
+        dirty = self._index.dirty_objects
+        think = CDN_SERVER_THINK_TIME_MS
+        for r in range(num):
+            oid = object_ids[r]
+            t = times[r]
+            self.catalog.get(oid)  # validate early, in request order
+            u = int(u_idx[r])
+            if vb.order[u].size == 0:
+                user = users[r]
+                raise ConfigurationError(
+                    f"no satellite visible from "
+                    f"({user.lat_deg:.1f}, {user.lon_deg:.1f})"
+                )
+            acc = int(acc_of_u[u])
+            access_rtt = 2.0 * access_latency_ms(float(slant_of_u[u]))
+
+            # Rung 1: the access satellite's cache, straight off the real
+            # cache (also records the hit/miss and the LRU touch scalar
+            # serving records).
+            if self.cache_of(acc).get(oid) is not None:
+                if counts is not None:
+                    counts[("access", "served")] += 1
+                results.append(
+                    self._record(
+                        oid, t, LookupSource.ACCESS_SATELLITE, acc, 0,
+                        access_rtt + think, span=False,
+                    )
+                )
+                continue
+
+            if oid in dirty:
+                src, sat, hops, one_way = self._healthy_decision_from_rows(
+                    oid, u, vb, accrow_of_u, hops_m, lats_m
+                )
+            else:
+                p = pair_of_r[r]
+                src = int(p_src[p])
+                sat = int(p_sat[p])
+                hops = int(p_hops[p])
+                one_way = float(p_lat[p])
+
+            if src == 1:
+                self.cache_of(sat).get(oid)  # count the hit
+                rtt = (
+                    2.0 * access_latency_ms(float(vb.slant_ranges_km[u, sat]))
+                    + think
+                )
+                if counts is not None:
+                    counts[("direct-visible", "served")] += 1
+                results.append(
+                    self._record(
+                        oid, t, LookupSource.DIRECT_VISIBLE, sat, 0, rtt,
+                        span=False,
+                    )
+                )
+            elif src == 2:
+                self.cache_of(sat).get(oid)  # count the remote hit
+                rtt = access_rtt + 2.0 * one_way + think
+                if counts is not None:
+                    counts[("isl", "served")] += 1
+                results.append(
+                    self._record(
+                        oid, t, LookupSource.ISL_NEIGHBOR, sat, hops, rtt,
+                        span=False,
+                    )
+                )
+            else:
+                self._store(acc, oid)
+                if counts is not None:
+                    counts[("ground", "served")] += 1
+                results.append(
+                    self._record(
+                        oid, t, LookupSource.GROUND, None, 0,
+                        self.ground_rtt_ms, span=False,
+                    )
+                )
+
+    def _healthy_decision_from_rows(
+        self,
+        object_id: str,
+        u: int,
+        vb,
+        accrow_of_u: np.ndarray,
+        hops_m: np.ndarray,
+        lats_m: np.ndarray,
+    ) -> tuple[int, int, int, float]:
+        """Re-resolve one dirty request from the live index.
+
+        Mirrors scalar :meth:`_serve_healthy` below the access rung:
+        first directly visible holder in ascending slant order, else masked
+        nearest ISL holder from the access satellite's precomputed routing
+        rows, else ground. Returns ``(src, satellite, hops, one_way_ms)``
+        with ``src`` using the provisional encoding (1/2/3).
+        """
+        holders = self._index.holder_set(object_id)
+        if holders:
+            order = vb.order[u]
+            for cand in order[1:]:
+                ci = int(cand)
+                if ci in holders:
+                    return 1, ci, 0, 0.0
+            row = int(accrow_of_u[u])
+            found = nearest_cached_from_rows(
+                hops_m[row], lats_m[row], holders, self.max_hops, min_hops=1
+            )
+            if found is not None:
+                return 2, found[0], found[1], found[2]
+        return 3, -1, 0, 0.0
+
+    def _serve_batch_degraded(
+        self,
+        users: Sequence[GeoPoint],
+        object_ids: Sequence[str],
+        times: list[float],
+        u_idx: np.ndarray,
+        vb,
+        view: FaultView,
+        degraded: SnapshotGraph,
+        counts: Counter | None,
+        continue_on_unavailable: bool,
+        results: list,
+    ) -> None:
+        """The faulted cohort: shared masked routing, per-request walks.
+
+        The expensive parts of scalar degraded serving are per-request
+        visibility and the *masked* routing pass (never memoised, since
+        failure sets vary) — both are hoisted here to one pass per unique
+        user / unique access satellite. The attempt walk itself stays
+        per-request (it is inherently sequential: the fault schedule's
+        transient losses are deterministic in request order) and runs the
+        exact scalar code over the precomputed rows.
+        """
+        live_of_u = [
+            [
+                sat
+                for sat in vb.visible_list(i)
+                if degraded.has_satellite(sat.index)
+            ]
+            for i in range(vb.num_points)
+        ]
+        accs = sorted({lv[0].index for lv in live_of_u if lv})
+        row_of_acc: dict[int, int] = {}
+        if accs:
+            hops_m, lats_m = fastcore.single_source_batch(
+                degraded.core, accs, degraded.active_mask
+            )
+            row_of_acc = {a: i for i, a in enumerate(accs)}
+        for r in range(len(object_ids)):
+            oid = object_ids[r]
+            self.catalog.get(oid)  # validate early, in request order
+            lv = live_of_u[int(u_idx[r])]
+            rows = None
+            if lv:
+                i = row_of_acc[lv[0].index]
+                rows = (hops_m[i], lats_m[i])
+            try:
+                results.append(
+                    self._serve_degraded_prepared(
+                        users[r], oid, times[r], lv, view, degraded,
+                        rows=rows, attempt_counts=counts, span=False,
+                    )
+                )
+            except UnavailableError:
+                if not continue_on_unavailable:
+                    raise
+                results.append(None)
+
     def run(
-        self, requests: list[Request], continue_on_unavailable: bool = False
+        self,
+        requests: list[Request],
+        continue_on_unavailable: bool = False,
+        batch: bool = False,
     ) -> list[ServedRequest]:
         """Serve a whole request stream (must be time-ordered).
 
@@ -720,7 +1124,13 @@ class SpaceCdnSystem:
         raise :class:`~repro.errors.UnavailableError` under a fault
         schedule — they are counted in ``stats.unavailable`` and skipped,
         which is what availability experiments want.
+
+        With ``batch`` the stream is grouped into per-snapshot-slot cohorts
+        resolved through :meth:`serve_batch`; results and state are
+        element-wise identical to the scalar loop, just much faster.
         """
+        if batch:
+            return self._run_batched(requests, continue_on_unavailable)
         last_t = -1.0
         results = []
         for request in requests:
@@ -732,6 +1142,46 @@ class SpaceCdnSystem:
             except UnavailableError:
                 if not continue_on_unavailable:
                     raise
+        return results
+
+    def _run_batched(
+        self, requests: list[Request], continue_on_unavailable: bool
+    ) -> list[ServedRequest]:
+        """Slot-grouped cohort serving behind :meth:`run`'s ``batch`` flag."""
+        results: list[ServedRequest] = []
+        group_users: list[GeoPoint] = []
+        group_oids: list[str] = []
+        group_ts: list[float] = []
+        group_slot: int | None = None
+        last_t = -1.0
+
+        def flush() -> None:
+            if not group_users:
+                return
+            served = self.serve_batch(
+                group_users,
+                group_oids,
+                group_ts,
+                continue_on_unavailable=continue_on_unavailable,
+            )
+            results.extend(r for r in served if r is not None)
+            group_users.clear()
+            group_oids.clear()
+            group_ts.clear()
+
+        for request in requests:
+            if request.t_s < last_t:
+                flush()  # the stream up to here served, as scalar would
+                raise ConfigurationError("request stream is not time-ordered")
+            last_t = request.t_s
+            slot = int(request.t_s // self.snapshot_interval_s)
+            if group_slot is not None and slot != group_slot:
+                flush()
+            group_slot = slot
+            group_users.append(request.city.location)
+            group_oids.append(request.object_id)
+            group_ts.append(request.t_s)
+        flush()
         return results
 
     def _nearest_holder(
@@ -753,6 +1203,7 @@ class SpaceCdnSystem:
         fallback_reason: str | None = None,
         attempt_log: list[dict] | None = None,
         view: FaultView | None = None,
+        span: bool = True,
     ) -> ServedRequest:
         if source is LookupSource.ACCESS_SATELLITE:
             self.stats.access_hits += 1
@@ -773,10 +1224,15 @@ class SpaceCdnSystem:
                 rec.inc(
                     "repro_serve_fallback_total", (("reason", fallback_reason),)
                 )
-            self._emit_serve_trace(
-                rec, object_id, t_s, "served", source, satellite, hops,
-                rtt_ms, attempts, fallback_reason, attempt_log, view,
-            )
+            if span:
+                # Batched serving suppresses the per-request span: the
+                # cohort emits one ``serve_cohort`` span with per-rung
+                # attempt counts instead (per-request counters and the RTT
+                # histogram above are identical either way).
+                self._emit_serve_trace(
+                    rec, object_id, t_s, "served", source, satellite, hops,
+                    rtt_ms, attempts, fallback_reason, attempt_log, view,
+                )
         return ServedRequest(
             object_id=object_id,
             t_s=t_s,

@@ -455,6 +455,59 @@ def single_source(
     return hops, lats
 
 
+def single_source_batch(
+    core: CsrSnapshot,
+    sources: Sequence[int] | np.ndarray,
+    active: np.ndarray | None = None,
+    method: str = "auto",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stacked :func:`single_source` rows for many sources at once.
+
+    Returns ``(hops, latencies)`` of shapes ``(len(sources), N)``; row ``i``
+    is bit-identical to ``single_source(core, sources[i], active, method)``
+    (both backends compute each source row independently).
+
+    Unmasked queries share :func:`single_source`'s per-snapshot memo —
+    rows already computed by scalar callers are reused, rows computed here
+    are left behind for them — and only the missing sources pay one batched
+    kernel call. Masked (degraded) queries run as a single batched pass
+    over all sources: this is precisely the per-request recompute the
+    scalar chaos path pays ``len(sources)`` times over.
+    """
+    mask = _as_active(core, active)
+    src = _as_sources(core, sources, mask)
+    if mask is not None:
+        hops = hop_distances_batch(core, src, mask, method)
+        lats = latency_batch(core, src, mask, method)
+        return hops, lats
+
+    memo = core._memo
+    rows: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    unique = list(dict.fromkeys(int(s) for s in src))
+    for s in unique:
+        cached = memo.get((s, method))
+        if cached is not None:
+            rows[s] = cached
+    missing = [s for s in unique if s not in rows]
+    if missing:
+        hop_rows = hop_distances_batch(core, missing, None, method)
+        lat_rows = latency_batch(core, missing, None, method)
+        for i, s in enumerate(missing):
+            pair = (hop_rows[i], lat_rows[i])
+            rows[s] = pair
+            if len(memo) >= _MEMO_MAX_SOURCES:
+                memo.clear()
+            memo[(s, method)] = pair
+    n = core.num_nodes
+    hops = np.empty((len(src), n), dtype=np.int32)
+    lats = np.empty((len(src), n), dtype=np.float64)
+    for i, s in enumerate(src):
+        hop_row, lat_row = rows[int(s)]
+        hops[i] = hop_row
+        lats[i] = lat_row
+    return hops, lats
+
+
 def hop_ladder_batch(
     core: CsrSnapshot,
     sources: Sequence[int] | np.ndarray,

@@ -208,3 +208,95 @@ class TestFigure8:
     def test_terrestrial_reference_finite(self, result):
         assert not math.isnan(result.terrestrial_median_ms)
         assert 10.0 < result.terrestrial_median_ms < 60.0
+
+
+class TestBatchFlag:
+    """``--batch/--no-batch``: the scalar reference path stays one flag
+    away, produces the same numbers, and is pinned in the run manifest."""
+
+    def test_figure7_scalar_reference_matches_batch(self):
+        batched = figure7.spacecdn_rtt_samples(
+            users_per_epoch=5, num_epochs=2, seed=SEED, batch=True
+        )
+        scalar = figure7.spacecdn_rtt_samples(
+            users_per_epoch=5, num_epochs=2, seed=SEED, batch=False
+        )
+        assert set(batched) == set(scalar)
+        for n in batched:
+            assert batched[n] == pytest.approx(scalar[n])
+
+    def test_figure8_scalar_reference_matches_batch(self):
+        kwargs = dict(seed=SEED, users_per_epoch=5, num_epochs=2)
+        batched = figure8.run(batch=True, **kwargs)
+        scalar = figure8.run(batch=False, **kwargs)
+        for fraction in batched.rtt_samples_ms:
+            assert batched.rtt_samples_ms[fraction] == pytest.approx(
+                scalar.rtt_samples_ms[fraction]
+            )
+
+    def test_chaos_scalar_reference_matches_batch(self):
+        from repro.experiments import chaos
+
+        kwargs = dict(
+            seed=SEED, num_requests=40, fractions=(0.0, 0.2), shell="small"
+        )
+        batched = chaos.run(batch=True, **kwargs)
+        chaos._sweep_context.cache_clear()
+        scalar = chaos.run(batch=False, **kwargs)
+        assert chaos.format_result(batched) == chaos.format_result(scalar)
+
+    def test_flag_recorded_in_plan_config(self):
+        from repro.experiments import chaos
+
+        for module in (chaos, figure7, figure8):
+            on = module.build_plan(seed=SEED, batch=True)
+            off = module.build_plan(seed=SEED, batch=False)
+            assert on.config["batch"] is True
+            assert off.config["batch"] is False
+
+    def test_cli_flag_defaults_to_batch(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert parser.parse_args(["run", "chaos"]).batch is True
+        assert parser.parse_args(["run", "chaos", "--no-batch"]).batch is False
+
+    def test_resumed_run_byte_identical_same_flag(self, tmp_path, capsys):
+        from repro.cli import EXIT_INTERRUPTED, main
+
+        base = [
+            "run", "chaos", "--shell", "small", "--requests", "30",
+            "--fractions", "0.0,0.3", "--seed", "5", "--no-batch",
+        ]
+        clean = tmp_path / "clean"
+        assert main(base + ["--out-dir", str(clean)]) == 0
+        resumed = tmp_path / "resumed"
+        assert (
+            main(base + ["--out-dir", str(resumed), "--max-shards", "1"])
+            == EXIT_INTERRUPTED
+        )
+        assert main(base + ["--out-dir", str(resumed), "--resume"]) == 0
+        capsys.readouterr()
+        assert (clean / "result.txt").read_bytes() == (
+            resumed / "result.txt"
+        ).read_bytes()
+
+    def test_resume_refuses_flag_flip(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import EXIT_ERROR, main
+
+        base = [
+            "run", "chaos", "--shell", "small", "--requests", "30",
+            "--fractions", "0.0,0.3", "--seed", "5",
+        ]
+        run_dir = tmp_path / "flip"
+        assert main(base + ["--out-dir", str(run_dir)]) == 0
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["config"]["batch"] is True
+        # Flipping the flag changes the config hash: --resume must refuse.
+        assert (
+            main(base + ["--no-batch", "--out-dir", str(run_dir), "--resume"])
+            == EXIT_ERROR
+        )
+        capsys.readouterr()

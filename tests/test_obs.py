@@ -294,3 +294,65 @@ class TestSummarize:
         path = tmp_path / "trace.jsonl"
         buffer.flush(path)
         assert "access" in summarize_trace_file(path)
+
+
+class TestSummarizeCohort:
+    """Cohort (``serve_cohort``/``rung``) traces summarize alongside — and
+    mixed with — single-request ``serve`` traces, with golden values."""
+
+    COHORT_SPANS = [
+        _span("serve_cohort", size=4, served=3, unavailable=1,
+              mode="healthy"),
+        _span("rung", tier="access", outcome="served", count=2),
+        _span("rung", tier="ground", outcome="served", count=1),
+        _span("rung", tier="isl", outcome="transient-loss", count=2),
+    ]
+
+    def test_cohort_only_trace_golden(self):
+        text = summarize_trace(self.COHORT_SPANS)
+        assert "4 requests (1 unavailable)" in text
+        # Serving table: 2 access + 1 ground served, shares over 4 requests.
+        access_row = next(
+            line for line in text.splitlines() if line.startswith("access")
+        )
+        assert access_row.split()[1] == "2"
+        assert "50.0%" in access_row
+        ground_row = next(
+            line for line in text.splitlines() if line.startswith("ground")
+        )
+        assert ground_row.split()[1] == "1"
+        assert "25.0%" in ground_row
+        # Cohort spans carry no per-request RTTs.
+        assert "n/a" in access_row
+        # Attempts table: the isl rung lost both tries.
+        isl_row = [
+            line for line in text.splitlines() if line.startswith("isl")
+        ][-1]
+        assert isl_row.split()[1:4] == ["2", "0", "2"]
+
+    def test_mixed_trace_aggregates_both_shapes(self):
+        spans = [
+            _span("serve", outcome="served", source="access", rtt_ms=20.0,
+                  fallback_reason=None),
+            _span("attempt", tier="access", outcome="served",
+                  rtt_contribution_ms=20.0),
+        ] + self.COHORT_SPANS
+        text = summarize_trace(spans)
+        assert "5 requests (1 unavailable)" in text
+        access_row = next(
+            line for line in text.splitlines() if line.startswith("access")
+        )
+        # 1 scalar + 2 cohort hits; the scalar request's RTT still quantiles.
+        assert access_row.split()[1] == "3"
+        assert "60.0%" in access_row
+        assert "20.0" in access_row
+
+    def test_cohort_only_unavailable_share(self):
+        spans = [
+            _span("serve_cohort", size=2, served=0, unavailable=2,
+                  mode="degraded"),
+            _span("rung", tier="ground", outcome="ground-timeout", count=2),
+        ]
+        text = summarize_trace(spans)
+        assert "2 requests (2 unavailable)" in text
+        assert "(unavailable)" in text

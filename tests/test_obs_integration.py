@@ -172,8 +172,13 @@ class TestCliObs:
     ]
 
     def test_obs_run_writes_artifacts_and_summarizes(self, tmp_path, capsys):
+        # --no-batch keeps the scalar per-request trace shape, whose
+        # per-attempt spans must reconstruct each served RTT exactly.
         run_dir = tmp_path / "chaos"
-        assert main(self.CHAOS + ["--obs", "--out-dir", str(run_dir)]) == 0
+        assert (
+            main(self.CHAOS + ["--no-batch", "--obs", "--out-dir", str(run_dir)])
+            == 0
+        )
         capsys.readouterr()
 
         metrics_text = (run_dir / "obs-metrics.prom").read_text()
@@ -200,6 +205,27 @@ class TestCliObs:
         assert set(manifest["obs"]["shard_seconds"]) == {
             "fraction-00", "fraction-01"
         }
+
+    def test_obs_run_batched_emits_cohort_spans(self, tmp_path, capsys):
+        """The default (batched) run traces one span per cohort, and
+        ``obs summarize`` renders them without per-request RTT columns."""
+        run_dir = tmp_path / "chaos-batched"
+        assert main(self.CHAOS + ["--obs", "--out-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+
+        spans = list(read_trace(run_dir / "obs-trace.jsonl"))
+        cohorts = [s for s in spans if s["kind"] == "serve_cohort"]
+        assert cohorts
+        assert not [s for s in spans if s["kind"] == "serve"]
+        rungs = [s for s in spans if s["kind"] == "rung"]
+        served = sum(r["count"] for r in rungs if r["outcome"] == "served")
+        assert served == sum(c["served"] for c in cohorts)
+
+        assert main(["obs", "summarize", str(run_dir / "obs-trace.jsonl")]) == 0
+        out = capsys.readouterr().out
+        assert "Per-tier serving outcomes:" in out
+        total = sum(c["size"] for c in cohorts)
+        assert f"{total} requests" in out
 
     def test_metrics_out_implies_obs(self, tmp_path, capsys, monkeypatch):
         monkeypatch.chdir(tmp_path)
@@ -295,3 +321,95 @@ class TestInterruptionFlush:
         capsys.readouterr()
         assert main(self.BASE + ["--out-dir", str(other), "--resume"]) == 0
         capsys.readouterr()
+
+
+class TestCohortTracing:
+    """Batched serving folds tracing into one span per cohort while keeping
+    every per-request counter and histogram identical to scalar serving."""
+
+    def _spec(self):
+        return [(EQUATOR, OBJ, 0.0), (EQUATOR, OBJ, 1.0),
+                (EQUATOR, "obj-000003", 2.0)]
+
+    def test_cohort_emits_one_span_with_rung_counts(
+        self, small_constellation, catalog
+    ):
+        system = make_system(small_constellation, catalog)
+        system.preload({OBJ: frozenset({FAR_HOLDER})})
+        recorder = ObsRecorder()
+        spec = self._spec()
+        with recording(recorder):
+            results = system.serve_batch(
+                [u for u, _, _ in spec],
+                [o for _, o, _ in spec],
+                [t for _, _, t in spec],
+            )
+        spans = recorder.trace.spans()
+        assert not [s for s in spans if s["kind"] == "serve"]
+        (cohort,) = [s for s in spans if s["kind"] == "serve_cohort"]
+        assert cohort["size"] == 3
+        assert cohort["served"] == 3
+        assert cohort["unavailable"] == 0
+        assert cohort["mode"] == "healthy"
+        rungs = [s for s in spans if s["kind"] == "rung"]
+        assert all(r["parent_id"] == cohort["span_id"] for r in rungs)
+        assert sum(r["count"] for r in rungs) == len(results)
+
+    def test_counters_identical_to_scalar(self, small_constellation, catalog):
+        spec = self._spec()
+
+        def metrics(batched):
+            system = make_system(small_constellation, catalog)
+            system.preload({OBJ: frozenset({FAR_HOLDER})})
+            recorder = ObsRecorder()
+            with recording(recorder):
+                if batched:
+                    system.serve_batch(
+                        [u for u, _, _ in spec],
+                        [o for _, o, _ in spec],
+                        [t for _, _, t in spec],
+                    )
+                else:
+                    for u, o, t in spec:
+                        system.serve(u, o, t)
+            reset_recorder()
+            return recorder.metrics
+
+        scalar, batched = metrics(False), metrics(True)
+        for name in (
+            "repro_serve_total",
+            "repro_serve_attempts_total",
+            "repro_serve_fallback_total",
+        ):
+            assert {
+                k: v for k, v in batched._counters.items() if k[0] == name
+            } == {k: v for k, v in scalar._counters.items() if k[0] == name}
+        for (name, labels), histogram in scalar._histograms.items():
+            if name != "repro_serve_rtt_ms":
+                continue
+            other = batched.histogram(name, labels)
+            assert other is not None
+            assert other.total == histogram.total
+            assert other.count == histogram.count
+
+    def test_degraded_cohort_span_counts_unavailable(
+        self, small_constellation, catalog
+    ):
+        schedule = FaultSchedule().add(
+            OutageWindow(satellites=frozenset(range(len(small_constellation))))
+        )
+        system = make_system(small_constellation, catalog, schedule)
+        recorder = ObsRecorder()
+        with recording(recorder):
+            results = system.serve_batch(
+                [EQUATOR], [OBJ], 0.0, continue_on_unavailable=True
+            )
+        assert results == [None]
+        (cohort,) = [
+            s for s in recorder.trace.spans() if s["kind"] == "serve_cohort"
+        ]
+        assert cohort["mode"] == "degraded"
+        assert cohort["unavailable"] == 1
+        assert recorder.metrics.counter_value(
+            "repro_serve_unavailable_total", (("reason", "no-sky"),)
+        ) == 1.0
