@@ -13,7 +13,10 @@ Usage::
 Without ``--out-dir`` an experiment runs monolithically in memory, exactly
 as it always has. With ``--out-dir`` it runs through the crash-safe
 :mod:`repro.runner`: sharded, checkpointed, resumable with ``--resume``,
-and bounded by ``--deadline-s`` / ``--shard-deadline-s``.
+and bounded by ``--deadline-s`` / ``--shard-deadline-s``. ``--jobs N``
+executes the shards N-wide on a supervised worker pool that survives
+worker crashes, hangs, and kills; ``--jobs`` never enters the manifest,
+so a run started wide can resume serially (and vice versa) byte-for-byte.
 
 Observability is off by default and the default path is byte-identical to
 an uninstrumented run. ``--obs`` (or either of ``--metrics-out`` /
@@ -24,7 +27,9 @@ checkpoints, so the artifacts are never truncated.
 
 Exit codes: 0 success; 2 generic error; 3 content unavailable; 4 bad
 fault/experiment configuration; 5 interrupted (checkpoints flushed);
-6 deadline exceeded; 7 a shard exhausted its retries.
+6 deadline exceeded; 7 a shard exhausted its retries (serial);
+8 shard(s) quarantined by the parallel executor (rest of the run
+completed; see ``quarantine.json``).
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from repro.errors import (
     ReproError,
     RunInterruptedError,
     ShardExhaustedError,
+    ShardQuarantinedError,
     UnavailableError,
 )
 
@@ -56,6 +62,10 @@ EXIT_DEADLINE = 6
 checkpointed."""
 EXIT_SHARD_FAILED = 7
 """One shard kept failing after exhausting its retry budget."""
+EXIT_QUARANTINED = 8
+"""Parallel run: shard(s) kept crashing/hanging/failing their workers and
+were quarantined (``quarantine.json``) while every other shard completed;
+fix the cause and rerun with ``--resume``."""
 
 _EXPERIMENTS: dict[str, str] = {
     "chaos": "Chaos sweep: availability and latency under injected failures",
@@ -229,6 +239,7 @@ def _run_and_print(args: argparse.Namespace) -> int:
             ("--deadline-s", args.deadline_s),
             ("--shard-deadline-s", args.shard_deadline_s),
             ("--max-shards", args.max_shards),
+            ("--jobs", args.jobs if args.jobs != 1 else None),
         ):
             if value:
                 raise ReproError(f"{flag} requires --out-dir")
@@ -246,6 +257,7 @@ def _run_and_print(args: argparse.Namespace) -> int:
             deadline_s=args.deadline_s,
             shard_deadline_s=args.shard_deadline_s,
             max_shards=args.max_shards,
+            jobs=args.jobs,
         ),
     )
     print(runner.execute())
@@ -387,6 +399,16 @@ def build_parser() -> argparse.ArgumentParser:
         f"past it is retried, then exit {EXIT_SHARD_FAILED}",
     )
     run_cmd.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=f"run shards on N supervised worker processes (requires "
+        f"--out-dir); crashed, hung, or killed workers are detected and "
+        f"their shards retried on fresh workers, repeat offenders are "
+        f"quarantined (exit {EXIT_QUARANTINED}) while the rest of the run "
+        f"completes; default 1 = the serial in-process path",
+    )
+    run_cmd.add_argument(
         "--max-shards",
         type=int,
         default=None,
@@ -449,6 +471,9 @@ def main(argv: list[str] | None = None) -> int:
     except ShardExhaustedError as exc:
         print(f"error: shard failed: {exc}", file=sys.stderr)
         return EXIT_SHARD_FAILED
+    except ShardQuarantinedError as exc:
+        print(f"error: shard(s) quarantined: {exc}", file=sys.stderr)
+        return EXIT_QUARANTINED
     except UnavailableError as exc:
         print(f"error: content unavailable: {exc}", file=sys.stderr)
         return EXIT_UNAVAILABLE

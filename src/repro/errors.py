@@ -96,6 +96,16 @@ class ShardExhaustedError(RunnerError):
     """A shard kept failing after exhausting its retry budget."""
 
 
+class ShardQuarantinedError(RunnerError):
+    """One or more shards were quarantined by the parallel executor.
+
+    A shard that keeps killing, hanging, or failing its worker through the
+    whole retry budget is set aside (recorded in ``quarantine.json`` under
+    the run directory) so the rest of the run can complete; every healthy
+    shard is checkpointed. Raised after the pool drains, carrying the list
+    of quarantined shard ids."""
+
+
 class RunInterruptedError(RunnerError):
     """The run stopped early (SIGINT/SIGTERM or an explicit shard budget)
     after flushing every completed shard; resume with ``--resume``."""

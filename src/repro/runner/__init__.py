@@ -8,12 +8,24 @@ run directory with per-shard atomic checkpoints, a manifest guarding
 with backoff, and graceful SIGINT/SIGTERM handling. A run killed after *k*
 shards resumes with the remaining shards and produces output byte-identical
 to an uninterrupted run with the same seed.
+
+``jobs>1`` in :class:`~repro.runner.engine.RunnerOptions` executes the
+shards N-wide on a supervised worker pool (:mod:`repro.runner.parallel`)
+that survives worker crashes, hangs, and kills — retrying against the same
+budget, quarantining repeat offenders, and keeping every byte-identical
+resume guarantee, since checkpoints are written by the parent only and
+``jobs`` never enters the manifest.
 """
 
 from repro.runner.deadline import Deadline, shard_watchdog
 from repro.runner.engine import ExperimentRunner, RunnerOptions
 from repro.runner.interrupt import InterruptGuard
-from repro.runner.shards import ExperimentPlan
+from repro.runner.registry import (
+    has_plan_builder,
+    plan_from_config,
+    register_plan_builder,
+)
+from repro.runner.shards import ExperimentPlan, current_attempt
 from repro.runner.store import CheckpointStore, build_manifest
 
 __all__ = [
@@ -24,5 +36,9 @@ __all__ = [
     "InterruptGuard",
     "RunnerOptions",
     "build_manifest",
+    "current_attempt",
+    "has_plan_builder",
+    "plan_from_config",
+    "register_plan_builder",
     "shard_watchdog",
 ]

@@ -3,13 +3,17 @@
 The run deadline is checked between shards and, together with the
 per-shard budget, enforced *during* a shard via ``SIGALRM`` (when running
 on the main thread of a platform that has it) so a hung shard cannot wedge
-the run. Off the main thread the watchdog degrades to the between-shard
-checks — still deadline-correct for runs whose shards terminate.
+the run. Where ``SIGALRM`` cannot fire (non-main thread, Windows) the
+watchdog warns once and falls back to a wall-clock check when the shard
+*completes* — overruns are still detected and budget semantics preserved
+for every shard that terminates; truly hung shards need the parallel
+executor's parent-side watchdog, which kills the worker process instead.
 """
 
 from __future__ import annotations
 
 import signal
+import sys
 import threading
 import time
 from contextlib import contextmanager
@@ -54,6 +58,23 @@ def _alarm_usable() -> bool:
     )
 
 
+_fallback_warned = False
+
+
+def _warn_fallback_once() -> None:
+    """One stderr warning per process when budgets lose mid-shard teeth."""
+    global _fallback_warned
+    if not _fallback_warned:
+        _fallback_warned = True
+        print(
+            "runner: SIGALRM unavailable here (non-main thread or platform); "
+            "shard/run budgets are checked when each shard completes, so a "
+            "shard that never returns cannot be interrupted — use --jobs 2+ "
+            "for a kill-capable parent-side watchdog",
+            file=sys.stderr,
+        )
+
+
 @contextmanager
 def shard_watchdog(
     shard_id: str, shard_budget_s: float | None, deadline: Deadline
@@ -63,7 +84,9 @@ def shard_watchdog(
     The alarm fires at the *sooner* of the per-shard budget and the run
     deadline's remainder; which one was sooner decides the exception —
     :class:`ShardTimeoutError` (retryable) vs
-    :class:`DeadlineExceededError` (terminal).
+    :class:`DeadlineExceededError` (terminal). Without ``SIGALRM`` the
+    budgets are instead checked on completion: the overrun is detected one
+    shard late rather than not at all.
     """
     remaining = deadline.remaining_s()
     candidates = [
@@ -74,8 +97,21 @@ def shard_watchdog(
         )
         if budget is not None
     ]
-    if not candidates or not _alarm_usable():
+    if not candidates:
         yield
+        return
+    if not _alarm_usable():
+        _warn_fallback_once()
+        started = time.monotonic()
+        yield
+        elapsed = time.monotonic() - started
+        deadline.check()
+        if shard_budget_s is not None and elapsed > shard_budget_s:
+            raise ShardTimeoutError(
+                f"shard {shard_id!r} took {elapsed:.3f}s, over its "
+                f"{shard_budget_s:g}s budget (detected at completion; "
+                f"SIGALRM unavailable)"
+            )
         return
     budget, exc_type = min(candidates, key=lambda pair: pair[0])
 

@@ -5,6 +5,13 @@ it: shards are order-independent by contract, completed shards are skipped
 on resume, and the merge always reads every payload back from disk — so an
 uninterrupted run and any interrupt/resume chain with the same seed emit
 byte-identical results.
+
+``jobs=1`` (the default) is the original serial in-process path,
+byte-for-byte unchanged. ``jobs>1`` hands the pending shards to the
+supervised worker pool in :mod:`repro.runner.parallel`; checkpointing,
+manifest handling, and the merge stay here in the parent either way, and
+``jobs`` is deliberately *not* part of the manifest, so any run can be
+resumed at any width.
 """
 
 from __future__ import annotations
@@ -26,7 +33,7 @@ from repro.faults.retry import RetryPolicy
 from repro.obs.recorder import get_recorder
 from repro.runner.deadline import Deadline, shard_watchdog
 from repro.runner.interrupt import InterruptGuard
-from repro.runner.shards import ExperimentPlan
+from repro.runner.shards import ExperimentPlan, set_current_attempt
 from repro.runner.store import CheckpointStore, build_manifest, check_resume_compatible
 
 DEFAULT_RETRY_POLICY = RetryPolicy(
@@ -44,6 +51,8 @@ class RunnerOptions:
     deadline_s: float | None = None
     shard_deadline_s: float | None = None
     max_shards: int | None = None
+    jobs: int = 1
+    mp_start_method: str | None = None
     retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
@@ -56,6 +65,14 @@ class RunnerOptions:
             )
         if self.max_shards is not None and self.max_shards < 1:
             raise RunnerError(f"--max-shards must be >= 1, got {self.max_shards}")
+        if self.jobs < 1:
+            raise RunnerError(f"--jobs must be >= 1, got {self.jobs}")
+        valid_methods = (None, "fork", "spawn", "forkserver")
+        if self.mp_start_method not in valid_methods:
+            raise RunnerError(
+                f"mp_start_method must be one of {valid_methods[1:]}, "
+                f"got {self.mp_start_method!r}"
+            )
 
 
 @dataclass
@@ -82,37 +99,24 @@ class ExperimentRunner:
         rec = get_recorder()
         shard_seconds = self._prior_shard_seconds(store) if rec.enabled else {}
 
-        executed = 0
         with InterruptGuard() as guard:
-            for shard_id in pending:
-                guard.check()
-                deadline.check()
-                if (
-                    self.options.max_shards is not None
-                    and executed >= self.options.max_shards
-                ):
-                    raise RunInterruptedError(
-                        f"stopping after --max-shards={self.options.max_shards} "
-                        f"({len(done) + executed}/{len(self.plan.shard_ids)} "
-                        f"shards on disk); resume with --resume"
-                    )
-                started = time.perf_counter()
-                with rec.timer("runner.shard"):
-                    payload = self._run_shard_with_retry(shard_id, deadline, guard)
-                store.write_shard(shard_id, payload)
-                executed += 1
-                if rec.enabled:
-                    shard_seconds[shard_id] = round(
-                        time.perf_counter() - started, 6
-                    )
-                    store.update_manifest_obs({"shard_seconds": shard_seconds})
-                    print(
-                        f"obs: shard {shard_id} done in "
-                        f"{shard_seconds[shard_id]:.2f}s "
-                        f"({len(done) + executed}/{len(self.plan.shard_ids)} "
-                        f"on disk)",
-                        file=sys.stderr,
-                    )
+            if self.options.jobs > 1 and pending:
+                from repro.runner.parallel import execute_pending_parallel
+
+                execute_pending_parallel(
+                    plan=self.plan,
+                    store=store,
+                    options=self.options,
+                    pending=pending,
+                    deadline=deadline,
+                    guard=guard,
+                    already_done=len(done),
+                    prior_shard_seconds=shard_seconds,
+                )
+            else:
+                self._execute_serial(
+                    store, pending, deadline, guard, len(done), shard_seconds
+                )
 
         # Merge strictly from disk so an uninterrupted run and a resumed
         # one traverse the identical bytes.
@@ -125,7 +129,52 @@ class ExperimentRunner:
         with rec.timer("runner.merge"):
             text = self.plan.format(self.plan.merge(payloads))
         store.write_result_text(text)
+        # Every shard is verified on disk; any earlier quarantine verdict
+        # (a previous parallel run's evidence) is now obsolete.
+        store.clear_quarantine_record()
         return text
+
+    def _execute_serial(
+        self,
+        store: CheckpointStore,
+        pending: list[str],
+        deadline: Deadline,
+        guard: InterruptGuard,
+        done_count: int,
+        shard_seconds: dict[str, float],
+    ) -> None:
+        """The original one-process path, byte-for-byte unchanged."""
+        rec = get_recorder()
+        executed = 0
+        for shard_id in pending:
+            guard.check()
+            deadline.check()
+            if (
+                self.options.max_shards is not None
+                and executed >= self.options.max_shards
+            ):
+                raise RunInterruptedError(
+                    f"stopping after --max-shards={self.options.max_shards} "
+                    f"({done_count + executed}/{len(self.plan.shard_ids)} "
+                    f"shards on disk); resume with --resume"
+                )
+            started = time.perf_counter()
+            with rec.timer("runner.shard"):
+                payload = self._run_shard_with_retry(shard_id, deadline, guard)
+            store.write_shard(shard_id, payload)
+            executed += 1
+            if rec.enabled:
+                shard_seconds[shard_id] = round(
+                    time.perf_counter() - started, 6
+                )
+                store.update_manifest_obs({"shard_seconds": shard_seconds})
+                print(
+                    f"obs: shard {shard_id} done in "
+                    f"{shard_seconds[shard_id]:.2f}s "
+                    f"({done_count + executed}/{len(self.plan.shard_ids)} "
+                    f"on disk)",
+                    file=sys.stderr,
+                )
 
     @staticmethod
     def _prior_shard_seconds(store: CheckpointStore) -> dict[str, float]:
@@ -166,6 +215,7 @@ class ExperimentRunner:
         for attempt in range(1, policy.max_attempts + 1):
             guard.check()
             deadline.check()
+            set_current_attempt(attempt)
             try:
                 with shard_watchdog(shard_id, self.options.shard_deadline_s, deadline):
                     return self.plan.run_shard(shard_id)
@@ -175,8 +225,15 @@ class ExperimentRunner:
                 last_error = exc  # hung once; worth another attempt
             except Exception as exc:  # noqa: BLE001 - retry any shard failure
                 last_error = exc
+            finally:
+                set_current_attempt(None)
             if attempt < policy.max_attempts:
-                self.options.sleep(policy.backoff_ms(attempt) / 1000.0)
+                # Sliced wait: a first SIGINT during backoff is noticed
+                # within one slice, and the loop's guard.check() turns it
+                # into a prompt, checkpointed exit.
+                guard.wait(
+                    policy.backoff_ms(attempt) / 1000.0, self.options.sleep
+                )
         raise ShardExhaustedError(
             f"shard {shard_id!r} failed {policy.max_attempts} attempt(s); "
             f"last error: {last_error}"

@@ -11,11 +11,17 @@ from __future__ import annotations
 
 import signal
 import threading
+import time
 from types import FrameType
+from typing import Callable
 
 from repro.errors import RunInterruptedError
 
 _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+BACKOFF_SLICE_S = 0.05
+"""Granularity of :meth:`InterruptGuard.wait`: the longest a first signal
+can go unnoticed inside a retry backoff."""
 
 
 class InterruptGuard:
@@ -61,3 +67,23 @@ class InterruptGuard:
                 f"received {self._flagged}; completed shards are "
                 f"checkpointed — resume with --resume"
             )
+
+    def wait(
+        self,
+        seconds: float,
+        sleep: Callable[[float], None] = time.sleep,
+        slice_s: float = BACKOFF_SLICE_S,
+    ) -> None:
+        """Sleep up to ``seconds``, returning early once a signal is flagged.
+
+        The sleep is sliced so a retry backoff never delays a first
+        SIGINT/SIGTERM by more than ``slice_s``; callers still need a
+        :meth:`check` (or loop back to one) to turn the flag into the
+        exception. ``sleep`` stays injectable for tests that must not
+        really block.
+        """
+        remaining = float(seconds)
+        while remaining > 1e-9 and self._flagged is None:
+            step = min(slice_s, remaining)
+            sleep(step)
+            remaining -= step

@@ -1,0 +1,564 @@
+"""Supervised N-wide shard execution: a worker pool that expects to die.
+
+``--jobs N`` runs the plan's pending shards on N worker processes under a
+parent-side supervisor. The design treats workers as unreliable by
+contract:
+
+* **Workers compute, the parent persists.** A worker receives
+  ``("run", shard_id, attempt)``, rebuilds the plan from its config
+  (:mod:`repro.runner.registry` — closures never cross the pipe), runs the
+  shard, and sends the payload back. Every checkpoint write, manifest
+  update, and integrity hash stays in the parent, so the atomic-write
+  machinery of :mod:`repro.runner.store` is untouched and a dying worker
+  can never leave a torn or unverified file.
+* **Crashes are exit codes, not exceptions.** A worker that segfaults,
+  is OOM-killed, or ``os._exit``\\ s is noticed through its process
+  sentinel; its in-flight shard re-enters the queue against the same
+  :class:`~repro.faults.retry.RetryPolicy` budget and runs on a fresh
+  worker.
+* **Hangs are the parent's problem.** ``SIGALRM`` cannot interrupt a
+  worker from the parent, so ``--shard-deadline-s`` is enforced by a
+  parent-side watchdog over heartbeat/assignment timestamps: an overdue
+  worker is killed and its shard retried.
+* **Repeat offenders are quarantined.** A shard that fails its whole
+  retry budget — by any mix of crash, kill, hang, garbage payload, or
+  exception — is set aside with the evidence written to
+  ``quarantine.json`` while the rest of the run completes; the run then
+  exits with :class:`~repro.errors.ShardQuarantinedError` (its own exit
+  code) instead of deadlocking or losing the healthy shards.
+* **Signals drain, then stop.** The first SIGINT/SIGTERM stops new
+  assignments and waits for in-flight shards to finish and flush; the
+  second terminates the pool immediately (both via
+  :class:`~repro.runner.interrupt.InterruptGuard`). ``--deadline-s`` is
+  enforced across all workers: on expiry the pool is killed and completed
+  shards remain checkpointed.
+
+Because shards are deterministic and order-independent and the merge reads
+every payload back from disk, ``--jobs`` affects only wall-clock time:
+it is deliberately excluded from the resume-compatibility hash, and a run
+started at ``--jobs 8`` resumes at ``--jobs 1`` (or vice versa) with
+byte-identical output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from multiprocessing.connection import wait as connection_wait
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import (
+    RunInterruptedError,
+    RunnerError,
+    ShardQuarantinedError,
+)
+from repro.obs.recorder import get_recorder
+from repro.runner.deadline import Deadline
+from repro.runner.interrupt import InterruptGuard
+from repro.runner.registry import has_plan_builder, plan_from_config
+from repro.runner.shards import ExperimentPlan, set_current_attempt
+from repro.runner.store import CheckpointStore, canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runner.engine import RunnerOptions
+
+HEARTBEAT_INTERVAL_S = 0.5
+"""How often each worker's pulse thread pings the parent."""
+
+_POLL_TIMEOUT_S = 0.1
+"""Upper bound on one supervisor tick while waiting for events."""
+
+_STOP_GRACE_S = 1.0
+"""How long shutdown waits for a worker before escalating to SIGKILL."""
+
+QUARANTINE_FORMAT_VERSION = 1
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap, inherits registry
+    registrations), else ``spawn``."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+# --------------------------------------------------------------------------
+# Worker side
+# --------------------------------------------------------------------------
+
+
+def _worker_main(
+    conn: Connection,
+    config: dict[str, Any],
+    worker_id: int,
+    heartbeat_interval_s: float,
+) -> None:
+    """One worker process: rebuild the plan, then serve run requests.
+
+    Never touches the checkpoint store or the recorder — observability and
+    persistence are parent-side concerns. Ignores SIGINT (the parent owns
+    interruption policy) and leaves SIGTERM at its default so the parent's
+    ``terminate()`` works even mid-shard.
+    """
+    import signal as _signal
+
+    _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+    if hasattr(_signal, "SIGTERM"):
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+    from repro.obs.recorder import reset_recorder
+
+    reset_recorder()
+
+    send_lock = threading.Lock()
+    inflight: dict[str, Any] = {"shard": None, "attempt": None}
+    stop_pulse = threading.Event()
+
+    def _send(message: tuple) -> None:
+        with send_lock:
+            conn.send(message)
+
+    def _pulse() -> None:
+        while not stop_pulse.wait(heartbeat_interval_s):
+            try:
+                _send(("hb", worker_id, inflight["shard"], inflight["attempt"]))
+            except Exception:
+                return  # parent is gone; the daemon thread just stops
+
+    threading.Thread(target=_pulse, name="heartbeat", daemon=True).start()
+
+    try:
+        plan = plan_from_config(config)
+    except Exception as exc:  # noqa: BLE001 - report, parent decides
+        _send(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # parent died or closed us out
+        if message[0] == "stop":
+            return
+        _, shard_id, attempt = message
+        inflight["shard"], inflight["attempt"] = shard_id, attempt
+        set_current_attempt(attempt)
+        _send(("start", worker_id, shard_id, attempt))
+        started = time.perf_counter()
+        try:
+            payload = plan.run_shard(shard_id)
+        except BaseException as exc:  # noqa: BLE001 - everything is reportable
+            _send(
+                (
+                    "err",
+                    worker_id,
+                    shard_id,
+                    attempt,
+                    "exception",
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+        else:
+            wall_s = time.perf_counter() - started
+            try:
+                _send(("ok", worker_id, shard_id, attempt, payload, wall_s))
+            except Exception as exc:  # noqa: BLE001 - unpicklable payload
+                _send(
+                    (
+                        "err",
+                        worker_id,
+                        shard_id,
+                        attempt,
+                        "garbage",
+                        f"unsendable payload: {type(exc).__name__}: {exc}",
+                    )
+                )
+        inflight["shard"] = inflight["attempt"] = None
+        set_current_attempt(None)
+
+
+# --------------------------------------------------------------------------
+# Parent side
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    """Parent-side view of one worker process."""
+
+    wid: int
+    proc: Any
+    conn: Connection
+    shard: str | None = None
+    attempt: int = 0
+    busy_since: float = 0.0  # monotonic; reset by the worker's "start" ack
+
+
+@dataclass
+class _ShardState:
+    """Retry bookkeeping for one pending shard."""
+
+    attempts: int = 0
+    eligible_at: float = 0.0  # monotonic; backoff gate for the next attempt
+    failures: list[dict[str, Any]] = field(default_factory=list)
+
+
+def execute_pending_parallel(
+    plan: ExperimentPlan,
+    store: CheckpointStore,
+    options: "RunnerOptions",
+    pending: list[str],
+    deadline: Deadline,
+    guard: InterruptGuard,
+    already_done: int,
+    prior_shard_seconds: dict[str, float] | None = None,
+) -> int:
+    """Run ``pending`` shards on up to ``options.jobs`` workers.
+
+    Returns the number of shards newly checkpointed. Raises
+    :class:`RunInterruptedError` (drained stop), ``DeadlineExceededError``
+    (via ``deadline.check``), :class:`ShardQuarantinedError` (some shards
+    exhausted their budget), or :class:`RunnerError` (workers cannot
+    rebuild the plan). In every case the pool is torn down and each
+    completed shard is already flushed.
+    """
+    if not has_plan_builder(plan.experiment):
+        raise RunnerError(
+            f"--jobs {options.jobs} needs workers to rebuild the "
+            f"{plan.experiment!r} plan from its config, but no plan builder "
+            f"is registered for it; run serially or register one via "
+            f"repro.runner.registry.register_plan_builder"
+        )
+    ctx = mp.get_context(options.mp_start_method or default_start_method())
+    policy = options.retry_policy
+    rec = get_recorder()
+    total = already_done + len(pending)
+
+    state = {shard_id: _ShardState() for shard_id in pending}
+    queue: deque[str] = deque(pending)
+    workers: dict[int, _Worker] = {}
+    quarantined: dict[str, _ShardState] = {}
+    shard_seconds = dict(prior_shard_seconds or {})
+    shard_workers: dict[str, int] = {}
+    heartbeats: dict[str, int] = {}
+    next_wid = 0
+    executed = 0
+    draining: str | None = None  # None | "signal" | "max-shards"
+
+    def _update_obs() -> None:
+        if rec.enabled:
+            store.update_manifest_obs(
+                {
+                    "shard_seconds": shard_seconds,
+                    "shard_workers": shard_workers,
+                    "worker_heartbeats": heartbeats,
+                }
+            )
+
+    def _write_quarantine_record() -> None:
+        store.write_quarantine_record(
+            {
+                "format_version": QUARANTINE_FORMAT_VERSION,
+                "experiment": plan.experiment,
+                "max_attempts": policy.max_attempts,
+                "shards": {
+                    shard_id: {
+                        "attempts": st.attempts,
+                        "failures": st.failures,
+                    }
+                    for shard_id, st in sorted(quarantined.items())
+                },
+            }
+        )
+
+    def _spawn() -> _Worker:
+        nonlocal next_wid
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, plan.config, next_wid, HEARTBEAT_INTERVAL_S),
+            name=f"repro-shard-worker-{next_wid}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(wid=next_wid, proc=proc, conn=parent_conn)
+        workers[next_wid] = worker
+        next_wid += 1
+        if rec.enabled:
+            rec.inc("repro_runner_worker_spawns_total")
+            rec.set_gauge("repro_runner_workers", len(workers))
+        return worker
+
+    def _remove(worker: _Worker) -> None:
+        """Kill (if needed) and forget one worker."""
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+            worker.proc.join(_STOP_GRACE_S)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(_STOP_GRACE_S)
+        workers.pop(worker.wid, None)
+        if rec.enabled:
+            rec.set_gauge("repro_runner_workers", len(workers))
+
+    def _fail(shard_id: str, attempt: int, kind: str, detail: str, now: float) -> None:
+        """One attempt failed; requeue with backoff or quarantine."""
+        st = state[shard_id]
+        st.failures.append({"attempt": attempt, "kind": kind, "detail": detail})
+        if rec.enabled:
+            rec.inc("repro_runner_shard_failures_total", labels=(("kind", kind),))
+        if st.attempts >= policy.max_attempts:
+            quarantined[shard_id] = st
+            _write_quarantine_record()
+            print(
+                f"runner: quarantining shard {shard_id!r} after "
+                f"{st.attempts} attempt(s); last failure: {kind}: {detail}",
+                file=sys.stderr,
+            )
+        else:
+            if draining is None:
+                st.eligible_at = now + policy.backoff_ms(st.attempts) / 1000.0
+            queue.append(shard_id)
+
+    def _handle_message(worker: _Worker, message: tuple, now: float) -> None:
+        nonlocal executed
+        kind = message[0]
+        if kind == "hb":
+            heartbeats[str(worker.wid)] = heartbeats.get(str(worker.wid), 0) + 1
+            return
+        if kind == "start":
+            # The shard is actually running now; the watchdog measures
+            # from here, not from when the request entered the pipe.
+            worker.busy_since = now
+            return
+        if kind == "fatal":
+            raise RunnerError(
+                f"worker {worker.wid} could not rebuild the "
+                f"{plan.experiment!r} plan: {message[2]}"
+            )
+        if kind == "ok":
+            _, wid, shard_id, attempt, payload, wall_s = message
+            if worker.shard != shard_id:
+                return  # stale echo of a shard already failed elsewhere
+            worker.shard = None
+            try:
+                canonical_json(payload)
+            except (TypeError, ValueError) as exc:
+                _fail(
+                    shard_id,
+                    attempt,
+                    "garbage",
+                    f"payload is not JSON-serialisable: {exc}",
+                    now,
+                )
+                return
+            store.write_shard(shard_id, payload)
+            executed += 1
+            if rec.enabled:
+                shard_seconds[shard_id] = round(wall_s, 6)
+                shard_workers[shard_id] = wid
+                _update_obs()
+                print(
+                    f"obs: shard {shard_id} done in {wall_s:.2f}s on "
+                    f"worker {wid} ({already_done + executed}/{total} on disk)",
+                    file=sys.stderr,
+                )
+            return
+        if kind == "err":
+            _, _wid, shard_id, attempt, failure_kind, detail = message
+            if worker.shard != shard_id:
+                return
+            worker.shard = None
+            _fail(shard_id, attempt, failure_kind, detail, now)
+
+    def _drain_conn(worker: _Worker, now: float) -> None:
+        while worker.wid in workers:
+            try:
+                if not worker.conn.poll():
+                    return
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                return  # death is handled via the sentinel
+            _handle_message(worker, message, now)
+
+    def _handle_death(worker: _Worker, now: float) -> None:
+        _drain_conn(worker, now)  # a final "ok" may be queued; prefer it
+        if worker.wid not in workers:
+            return
+        # The sentinel can fire a beat before the child is reaped, leaving
+        # exitcode momentarily None; a short join closes that window.
+        worker.proc.join(_STOP_GRACE_S)
+        exitcode = worker.proc.exitcode
+        shard_id, attempt = worker.shard, worker.attempt
+        _remove(worker)
+        if rec.enabled:
+            rec.inc("repro_runner_worker_deaths_total")
+        if shard_id is not None:
+            _fail(
+                shard_id,
+                attempt,
+                "crash",
+                f"worker {worker.wid} died with exit code {exitcode}",
+                now,
+            )
+
+    def _handle_overdue(worker: _Worker, now: float) -> None:
+        _drain_conn(worker, now)  # a just-finished result beats a kill
+        if worker.wid not in workers or worker.shard is None:
+            return
+        shard_id, attempt = worker.shard, worker.attempt
+        _remove(worker)
+        if rec.enabled:
+            rec.inc("repro_runner_shard_timeouts_total")
+        _fail(
+            shard_id,
+            attempt,
+            "timeout",
+            f"no result within --shard-deadline-s="
+            f"{options.shard_deadline_s:g}s; worker {worker.wid} killed",
+            now,
+        )
+
+    def _inflight() -> list[_Worker]:
+        return [w for w in workers.values() if w.shard is not None]
+
+    def _assign(now: float) -> None:
+        while True:
+            if options.max_shards is not None:
+                busy = len(_inflight())
+                if executed + busy >= options.max_shards:
+                    return
+            eligible = next(
+                (s for s in queue if state[s].eligible_at <= now), None
+            )
+            if eligible is None:
+                return
+            worker = next(
+                (w for w in workers.values() if w.shard is None), None
+            )
+            if worker is None:
+                if len(workers) >= options.jobs:
+                    return
+                worker = _spawn()
+            queue.remove(eligible)
+            st = state[eligible]
+            st.attempts += 1
+            worker.shard = eligible
+            worker.attempt = st.attempts
+            worker.busy_since = now
+            try:
+                worker.conn.send(("run", eligible, st.attempts))
+            except (OSError, ValueError):
+                # Worker vanished between spawn and send; its sentinel
+                # fires on the next tick and requeues the shard.
+                return
+
+    def _wait_timeout(now: float) -> float:
+        timeout = _POLL_TIMEOUT_S
+        if options.shard_deadline_s is not None:
+            for worker in _inflight():
+                due_in = options.shard_deadline_s - (now - worker.busy_since)
+                timeout = min(timeout, max(due_in, 0.01))
+        remaining = deadline.remaining_s()
+        if remaining is not None:
+            timeout = min(timeout, max(remaining, 0.01))
+        for shard_id in queue:
+            gate = state[shard_id].eligible_at - now
+            if gate > 0:
+                timeout = min(timeout, max(gate, 0.01))
+        return timeout
+
+    def _shutdown_pool() -> None:
+        for worker in list(workers.values()):
+            if worker.proc.is_alive() and worker.shard is None:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, ValueError):
+                    pass
+        patience = time.monotonic() + _STOP_GRACE_S
+        for worker in list(workers.values()):
+            if worker.shard is None:
+                worker.proc.join(max(patience - time.monotonic(), 0.05))
+        for worker in list(workers.values()):
+            _remove(worker)
+
+    try:
+        while True:
+            now = time.monotonic()
+            deadline.check()  # expiry kills the pool via the finally below
+            if draining is None and guard.interrupted:
+                draining = "signal"
+                print(
+                    f"runner: interrupt received; draining "
+                    f"{len(_inflight())} in-flight shard(s) before exiting",
+                    file=sys.stderr,
+                )
+            if (
+                draining is None
+                and options.max_shards is not None
+                and executed >= options.max_shards
+            ):
+                draining = "max-shards"
+            if draining is not None:
+                if not _inflight():
+                    break
+            else:
+                if not queue and not _inflight():
+                    break
+                _assign(now)
+                if not queue and not _inflight():
+                    break
+            timeout = _wait_timeout(now)
+            by_conn = {w.conn: w for w in workers.values()}
+            by_sentinel = {w.proc.sentinel: w for w in workers.values()}
+            if by_conn:
+                ready = connection_wait(
+                    list(by_conn) + list(by_sentinel), timeout
+                )
+            else:
+                time.sleep(min(timeout, _POLL_TIMEOUT_S))
+                ready = []
+            now = time.monotonic()
+            for obj in ready:
+                worker = by_conn.get(obj)
+                if worker is not None and worker.wid in workers:
+                    _drain_conn(worker, now)
+            for obj in ready:
+                worker = by_sentinel.get(obj)
+                if worker is not None and worker.wid in workers:
+                    _handle_death(worker, now)
+            if options.shard_deadline_s is not None:
+                for worker in list(workers.values()):
+                    if (
+                        worker.shard is not None
+                        and now - worker.busy_since > options.shard_deadline_s
+                    ):
+                        _handle_overdue(worker, now)
+    finally:
+        _shutdown_pool()
+        _update_obs()
+
+    if draining == "signal":
+        guard.check()  # raises RunInterruptedError naming the signal
+    if draining == "max-shards":
+        raise RunInterruptedError(
+            f"stopping after --max-shards={options.max_shards} "
+            f"({already_done + executed}/{total} shards on disk); "
+            f"resume with --resume"
+        )
+    if quarantined:
+        raise ShardQuarantinedError(
+            f"{len(quarantined)} shard(s) quarantined after exhausting "
+            f"{policy.max_attempts} attempt(s) each: "
+            f"{sorted(quarantined)}; the other "
+            f"{already_done + executed} completed shard(s) are "
+            f"checkpointed — see {store.quarantine_record_path} for the "
+            f"failure evidence, fix the cause, then rerun with --resume"
+        )
+    return executed

@@ -1,0 +1,109 @@
+"""Self-chaos harness: deterministic failure injection against the runner.
+
+The fault layer (:mod:`repro.faults`) breaks the *simulated* constellation;
+this module breaks the *runner itself*. It wraps any registered experiment
+plan so that chosen shards fail in a chosen way on chosen attempts — the
+worst behaviours real workers exhibit:
+
+``raise``
+    an ordinary exception (picklable, reported over the pipe);
+``crash``
+    ``os._exit(70)`` — the process vanishes mid-shard with a nonzero exit
+    code and no exception, like a segfault or an unpicklable error;
+``kill``
+    ``SIGKILL`` to itself — the OOM-killer case (exit code 137 as a shell
+    sees it, ``-9`` as :mod:`multiprocessing` reports it);
+``hang``
+    sleeps far past any sane ``--shard-deadline-s``, the wedged-worker
+    case only a parent-side watchdog can recover from;
+``garbage``
+    returns a payload that pickles over the pipe but is not
+    JSON-serialisable, so only the parent-side checkpoint validation can
+    reject it.
+
+Failures are scheduled on the runner's *attempt* counter (via
+:func:`~repro.runner.shards.current_attempt`), which survives worker
+replacement — so ``{"epoch-0001": {"1": "crash"}}`` crashes the first
+attempt wherever it lands and lets the retry succeed, deterministically,
+regardless of worker scheduling. The wrapper keeps the inner plan's shard
+ids, merge, and format, so a chaos run that survives its injected failures
+produces output byte-identical to the clean run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any, Mapping
+
+from repro.errors import RunnerError
+from repro.runner.shards import ExperimentPlan, current_attempt
+
+CHAOS_MODES = ("raise", "crash", "kill", "hang", "garbage")
+CRASH_EXIT_CODE = 70
+"""Exit code of the ``crash`` mode (distinct from every runner exit code)."""
+
+
+def build_plan(
+    inner: Mapping[str, Any],
+    failures: Mapping[str, Mapping[Any, str]],
+    hang_s: float = 3600.0,
+) -> ExperimentPlan:
+    """Wrap the plan described by ``inner`` (a plan config) with scheduled
+    failures: ``failures[shard_id][attempt] = mode``.
+
+    Attempt keys may be ints or strings (JSON object keys are strings);
+    they are normalised to strings so the config round-trips exactly.
+    """
+    from repro.runner.registry import plan_from_config
+
+    base = plan_from_config(dict(inner))
+    schedule: dict[str, dict[str, str]] = {}
+    for shard_id, per_attempt in failures.items():
+        if shard_id not in base.shard_ids:
+            raise RunnerError(
+                f"selfchaos: {shard_id!r} is not a shard of "
+                f"{base.experiment!r}"
+            )
+        for attempt, mode in per_attempt.items():
+            if mode not in CHAOS_MODES:
+                raise RunnerError(
+                    f"selfchaos: unknown failure mode {mode!r} "
+                    f"(choose from {CHAOS_MODES})"
+                )
+            schedule.setdefault(str(shard_id), {})[str(attempt)] = mode
+
+    def run_shard(shard_id: str) -> Any:
+        attempt = current_attempt()
+        mode = schedule.get(shard_id, {}).get(str(attempt))
+        if mode == "raise":
+            raise RuntimeError(
+                f"selfchaos: scheduled exception on {shard_id} "
+                f"attempt {attempt}"
+            )
+        if mode == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        if mode == "hang":
+            time.sleep(hang_s)
+        if mode == "garbage":
+            # A set pickles fine (crosses the worker pipe) but has no JSON
+            # encoding — exactly the shape parent-side validation exists for.
+            return {"selfchaos": {"unserialisable", "payload"}}
+        return base.run_shard(shard_id)
+
+    return ExperimentPlan(
+        experiment="selfchaos",
+        config={
+            "experiment": "selfchaos",
+            "inner": dict(inner),
+            "failures": schedule,
+            "hang_s": hang_s,
+        },
+        shard_ids=base.shard_ids,
+        run_shard=run_shard,
+        merge=base.merge,
+        format=base.format,
+    )

@@ -19,6 +19,26 @@ from typing import Any, Callable
 
 from repro.errors import RunnerError
 
+_CURRENT_ATTEMPT: int | None = None
+
+
+def current_attempt() -> int | None:
+    """The 1-based attempt number of the shard currently executing.
+
+    Set by the serial engine and by parallel workers around each
+    ``run_shard`` call; ``None`` outside shard execution. Exists so
+    attempt-scheduled behaviour (the self-chaos harness injecting a crash
+    on attempt 1 but not attempt 2) can key off the *runner's* retry
+    counter, which survives worker replacement, instead of per-process
+    state, which does not."""
+    return _CURRENT_ATTEMPT
+
+
+def set_current_attempt(attempt: int | None) -> None:
+    """Record the attempt number for :func:`current_attempt`."""
+    global _CURRENT_ATTEMPT
+    _CURRENT_ATTEMPT = attempt
+
 
 @dataclass(frozen=True)
 class ExperimentPlan:

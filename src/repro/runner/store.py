@@ -81,6 +81,7 @@ class CheckpointStore:
         self.run_dir = Path(run_dir)
         self.shard_dir = self.run_dir / "shards"
         self.quarantine_dir = self.run_dir / "quarantine"
+        self.quarantine_record_path = self.run_dir / "quarantine.json"
         self.manifest_path = self.run_dir / "manifest.json"
         self.result_path = self.run_dir / "result.txt"
         try:
@@ -196,6 +197,34 @@ class CheckpointStore:
             if payload is not None:
                 done[shard_id] = payload
         return done
+
+    # -- quarantined-shard record ------------------------------------------
+
+    def write_quarantine_record(self, record: dict[str, Any]) -> None:
+        """Persist the supervisor's evidence about quarantined shards.
+
+        Distinct from the ``quarantine/`` directory (corrupt *checkpoint
+        files* moved aside): this records shards whose *execution* kept
+        failing — which attempts, which failure kind (crash / hang /
+        garbage / exception), and the detail string for each."""
+        atomic_write_text(self.quarantine_record_path, json.dumps(record, indent=1))
+
+    def load_quarantine_record(self) -> dict[str, Any] | None:
+        """The stored quarantine record, or ``None`` when absent/unreadable."""
+        if not self.quarantine_record_path.exists():
+            return None
+        try:
+            record = json.loads(self.quarantine_record_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def clear_quarantine_record(self) -> None:
+        """Drop the record (a later run completed every shard)."""
+        try:
+            self.quarantine_record_path.unlink()
+        except FileNotFoundError:
+            pass
 
     # -- final result ------------------------------------------------------
 

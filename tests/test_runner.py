@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import os
 import signal
+import threading
 
 import pytest
 
@@ -35,6 +36,7 @@ from repro.runner import (
     build_manifest,
     shard_watchdog,
 )
+from repro.runner.interrupt import BACKOFF_SLICE_S
 from repro.runner.store import canonical_json, check_resume_compatible, config_hash
 
 
@@ -145,6 +147,36 @@ class TestCheckpointStore:
         assert store.load_shard("s1") is None
         assert (store.quarantine_dir / "s1.json.0").exists()
 
+    def test_torn_write_quarantined_at_every_cut_point(self, tmp_path):
+        """A shard file cut off mid-byte anywhere — inside the JSON framing,
+        the checksum hex, or the payload — is quarantine-and-recompute, never
+        a crash and never a silently-accepted partial payload."""
+        store = CheckpointStore(tmp_path / "run")
+        store.write_shard("s1", {"samples": [1.5, 2.5], "note": "complete"})
+        path = store.shard_dir / "s1.json"
+        whole = path.read_bytes()
+        for frac in (0.1, 0.35, 0.6, 0.9):
+            cut = max(1, int(len(whole) * frac))
+            path.write_bytes(whole[:cut])
+            assert store.load_shard("s1") is None, f"cut at {cut}/{len(whole)}"
+            assert not path.exists()
+        quarantined = sorted(p.name for p in store.quarantine_dir.iterdir())
+        assert quarantined == [f"s1.json.{i}" for i in range(4)]
+        # A rewrite after the torn reads round-trips normally again.
+        store.write_shard("s1", {"v": 2})
+        assert store.load_shard("s1") == {"v": 2}
+
+    def test_valid_json_with_wrong_schema_is_quarantined(self, tmp_path):
+        """Parseable JSON that is not a checkpoint record (a concurrent
+        writer's leftovers, a hand-edited file) is rejected like corruption."""
+        store = CheckpointStore(tmp_path / "run")
+        for i, text in enumerate(
+            ['[1, 2, 3]', '{"payload": {"v": 1}}', '{"checksum": "abc"}', '"str"']
+        ):
+            (store.shard_dir / "s1.json").write_text(text)
+            assert store.load_shard("s1") is None, f"schema case {i}: {text}"
+        assert len(list(store.quarantine_dir.iterdir())) == 4
+
     def test_repeated_quarantine_numbers_files(self, tmp_path):
         store = CheckpointStore(tmp_path / "run")
         for _ in range(2):
@@ -241,6 +273,84 @@ class TestShardWatchdog:
         with shard_watchdog("s", 0.2, Deadline(None)):
             pass
         time.sleep(0.3)  # would deliver a stray SIGALRM if not cancelled
+
+
+class TestShardWatchdogFallback:
+    """Off the main thread SIGALRM cannot fire; the watchdog must fall back
+    to checking budgets when the shard completes — and say so, once."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_warning(self):
+        import repro.runner.deadline as deadline_mod
+
+        before = deadline_mod._fallback_warned
+        deadline_mod._fallback_warned = False
+        yield
+        deadline_mod._fallback_warned = before
+
+    @staticmethod
+    def _in_thread(fn):
+        """Run ``fn`` on a non-main thread, returning its exception (or None)."""
+        outcome: list[BaseException | None] = []
+
+        def target():
+            try:
+                fn()
+                outcome.append(None)
+            except BaseException as exc:  # noqa: BLE001 - relayed to assert
+                outcome.append(exc)
+
+        worker = threading.Thread(target=target)
+        worker.start()
+        worker.join()
+        return outcome[0]
+
+    def test_overrun_detected_at_completion(self):
+        import time
+
+        def overrun():
+            with shard_watchdog("s", 0.01, Deadline(None)):
+                time.sleep(0.05)
+
+        exc = self._in_thread(overrun)
+        assert isinstance(exc, ShardTimeoutError)
+        assert "detected at completion" in str(exc)
+
+    def test_within_budget_passes(self):
+        def fine():
+            with shard_watchdog("s", 30.0, Deadline(None)):
+                pass
+
+        assert self._in_thread(fine) is None
+
+    def test_run_deadline_checked_at_completion(self):
+        deadline = Deadline(120.0)
+        object.__setattr__(deadline, "_started", deadline._started - 121.0)
+
+        def over_deadline():
+            with shard_watchdog("s", None, deadline):
+                pass
+
+        exc = self._in_thread(over_deadline)
+        assert isinstance(exc, DeadlineExceededError)
+
+    def test_warns_once_per_process(self, capsys):
+        def fine():
+            with shard_watchdog("s", 30.0, Deadline(None)):
+                pass
+
+        self._in_thread(fine)
+        self._in_thread(fine)
+        err = capsys.readouterr().err
+        assert err.count("SIGALRM unavailable") == 1
+
+    def test_no_budget_stays_silent(self, capsys):
+        def unbudgeted():
+            with shard_watchdog("s", None, Deadline(None)):
+                pass
+
+        assert self._in_thread(unbudgeted) is None
+        assert "SIGALRM" not in capsys.readouterr().err
 
 
 class TestInterruptGuard:
@@ -363,7 +473,34 @@ class TestEngine:
         )
         with pytest.raises(ShardExhaustedError):
             runner.execute()
-        assert sleeps == [0.1, 0.2]  # 100ms then 200ms exponential backoff
+        # 100ms then 200ms exponential backoff, sliced so a signal during
+        # the wait is noticed within one BACKOFF_SLICE_S-sized step.
+        assert sum(sleeps) == pytest.approx(0.3)
+        assert all(step <= BACKOFF_SLICE_S + 1e-9 for step in sleeps)
+
+    def test_signal_during_backoff_exits_promptly(self, tmp_path):
+        """A first SIGTERM that lands mid-backoff ends the wait after the
+        current slice instead of sleeping out the rest of the budget."""
+        sleeps: list[float] = []
+
+        def signal_during_sleep(seconds):
+            sleeps.append(seconds)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        def broken(sid):
+            raise ValueError("always")
+
+        runner = ExperimentRunner(
+            toy_plan(shard_ids=("a",), run_shard=broken),
+            tmp_path / "run",
+            RunnerOptions(
+                retry_policy=RetryPolicy(max_attempts=5, backoff_base_ms=60_000.0),
+                sleep=signal_during_sleep,
+            ),
+        )
+        with pytest.raises(RunInterruptedError, match="SIGTERM"):
+            runner.execute()
+        assert len(sleeps) == 1  # one slice, not the whole 60s backoff
 
     def test_sigterm_mid_run_checkpoints_completed_shards(self, tmp_path):
         run_dir = tmp_path / "run"
@@ -394,6 +531,20 @@ class TestEngine:
         assert (run_dir / "quarantine" / "b.json.0").exists()
         assert CheckpointStore(run_dir).load_shard("b") == {"value": 1}
 
+    def test_torn_shard_write_recomputed_on_resume(self, tmp_path):
+        """A shard checkpoint cut off mid-record (torn write under a crash
+        without atomicio) costs one recompute on resume, not the run."""
+        run_dir = tmp_path / "run"
+        ExperimentRunner(toy_plan(), run_dir, fast_options()).execute()
+        path = run_dir / "shards" / "b.json"
+        path.write_bytes(path.read_bytes()[:17])
+        text = ExperimentRunner(
+            toy_plan(), run_dir, fast_options(resume=True)
+        ).execute()
+        assert text == "total=3"
+        assert (run_dir / "quarantine" / "b.json.0").exists()
+        assert CheckpointStore(run_dir).load_shard("b") == {"value": 1}
+
     def test_options_validation(self):
         with pytest.raises(RunnerError):
             RunnerOptions(deadline_s=-1.0)
@@ -401,3 +552,7 @@ class TestEngine:
             RunnerOptions(shard_deadline_s=0.0)
         with pytest.raises(RunnerError):
             RunnerOptions(max_shards=0)
+        with pytest.raises(RunnerError):
+            RunnerOptions(jobs=0)
+        with pytest.raises(RunnerError):
+            RunnerOptions(mp_start_method="threads")
