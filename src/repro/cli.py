@@ -8,6 +8,8 @@ Usage::
     python -m repro run figure8 --out-dir runs/f8 --resume --deadline-s 600
     python -m repro run chaos --obs --out-dir runs/chaos
     python -m repro obs summarize runs/chaos/obs-trace.jsonl
+    python -m repro obs events runs/chaos/events.jsonl
+    python -m repro obs diff BENCH_old.json BENCH_new.json --threshold 20
     python -m repro aim --seed 7 --tests-per-city 30 --format csv --out aim.csv
 
 Without ``--out-dir`` an experiment runs monolithically in memory, exactly
@@ -29,7 +31,8 @@ Exit codes: 0 success; 2 generic error; 3 content unavailable; 4 bad
 fault/experiment configuration; 5 interrupted (checkpoints flushed);
 6 deadline exceeded; 7 a shard exhausted its retries (serial);
 8 shard(s) quarantined by the parallel executor (rest of the run
-completed; see ``quarantine.json``).
+completed; see ``quarantine.json``); 9 benchmark regression detected by
+``repro obs diff``.
 """
 
 from __future__ import annotations
@@ -66,6 +69,9 @@ EXIT_QUARANTINED = 8
 """Parallel run: shard(s) kept crashing/hanging/failing their workers and
 were quarantined (``quarantine.json``) while every other shard completed;
 fix the cause and rerun with ``--resume``."""
+EXIT_REGRESSION = 9
+"""``repro obs diff`` found at least one benchmark metric past its budget
+(the CI bench-regression gate keys off this)."""
 
 _EXPERIMENTS: dict[str, str] = {
     "chaos": "Chaos sweep: availability and latency under injected failures",
@@ -240,6 +246,7 @@ def _run_and_print(args: argparse.Namespace) -> int:
             ("--shard-deadline-s", args.shard_deadline_s),
             ("--max-shards", args.max_shards),
             ("--jobs", args.jobs if args.jobs != 1 else None),
+            ("--progress-every", args.progress_every),
         ):
             if value:
                 raise ReproError(f"{flag} requires --out-dir")
@@ -258,6 +265,7 @@ def _run_and_print(args: argparse.Namespace) -> int:
             shard_deadline_s=args.shard_deadline_s,
             max_shards=args.max_shards,
             jobs=args.jobs,
+            progress_every=args.progress_every,
         ),
     )
     print(runner.execute())
@@ -317,6 +325,46 @@ def _cmd_obs_summarize(args: argparse.Namespace) -> int:
 
     print(summarize_trace_file(args.trace))
     return 0
+
+
+def _cmd_obs_events(args: argparse.Namespace) -> int:
+    from repro.obs import render_events_file
+
+    print(render_events_file(args.events))
+    return 0
+
+
+def _parse_metric_overrides(pairs: list[str]) -> dict[str, float]:
+    """Validate repeated ``--metric path=pct`` overrides eagerly."""
+    from repro.errors import ObsError
+
+    overrides: dict[str, float] = {}
+    for pair in pairs:
+        path, separator, raw = pair.partition("=")
+        if not separator or not path:
+            raise ObsError(
+                f"--metric expects dotted.path=percent, got {pair!r}"
+            )
+        try:
+            overrides[path] = float(raw)
+        except ValueError:
+            raise ObsError(
+                f"--metric {path}= expects a numeric percent, got {raw!r}"
+            ) from None
+    return overrides
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs import diff_benchmark_files, format_diff, has_regressions
+
+    diffs = diff_benchmark_files(
+        args.old,
+        args.new,
+        threshold_pct=args.threshold,
+        per_metric=_parse_metric_overrides(args.metric),
+    )
+    print(format_diff(diffs))
+    return EXIT_REGRESSION if has_regressions(diffs) else 0
 
 
 def _cmd_aim(args: argparse.Namespace) -> int:
@@ -416,6 +464,14 @@ def build_parser() -> argparse.ArgumentParser:
         f"shards; useful for budgeted, incremental runs",
     )
     run_cmd.add_argument(
+        "--progress-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print an obs progress line every N completed shards (requires "
+        "--out-dir); default: quiet per-shard, one final summary line",
+    )
+    run_cmd.add_argument(
         "--obs",
         action="store_true",
         help="record metrics, a serve-path trace, and kernel profiles for "
@@ -445,6 +501,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize_cmd.add_argument("trace", help="path to an obs-trace.jsonl file")
     summarize_cmd.set_defaults(func=_cmd_obs_summarize)
+    events_cmd = obs_sub.add_parser(
+        "events",
+        help="render a run event log as a timeline and per-shard wall-time table",
+    )
+    events_cmd.add_argument("events", help="path to a run's events.jsonl file")
+    events_cmd.set_defaults(func=_cmd_obs_events)
+    diff_cmd = obs_sub.add_parser(
+        "diff",
+        help=f"compare two BENCH_*.json files and exit {EXIT_REGRESSION} on "
+        f"a performance regression",
+    )
+    diff_cmd.add_argument("old", help="baseline benchmark JSON (committed)")
+    diff_cmd.add_argument("new", help="freshly measured benchmark JSON")
+    diff_cmd.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="allowed adverse change per metric, in percent (default 20)",
+    )
+    diff_cmd.add_argument(
+        "--metric",
+        action="append",
+        default=[],
+        metavar="PATH=PCT",
+        help="per-metric threshold override (repeatable), e.g. "
+        "--metric healthy.requests_per_min=10",
+    )
+    diff_cmd.set_defaults(func=_cmd_obs_diff)
 
     aim_cmd = sub.add_parser("aim", help="generate and export the synthetic AIM dataset")
     aim_cmd.add_argument("--seed", type=int, default=7)

@@ -25,6 +25,9 @@ output at indistinguishable cost. Enable it per run::
     recorder.flush(metrics_path="metrics.prom", trace_path="trace.jsonl")
 """
 
+from repro.obs.benchdiff import diff_benchmark_files, format_diff, has_regressions
+from repro.obs.events import EventLog, read_events, render_events, render_events_file
+from repro.obs.merge import merge_delta, registry_diff, snapshot_delta
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, MetricsRegistry
 from repro.obs.profiling import ProfileAccumulator
 from repro.obs.recorder import (
@@ -41,16 +44,26 @@ from repro.obs.tracing import TraceBuffer
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "EventLog",
     "MetricsRegistry",
     "ProfileAccumulator",
     "TraceBuffer",
     "NOOP_RECORDER",
     "NoopRecorder",
     "ObsRecorder",
+    "diff_benchmark_files",
+    "format_diff",
     "get_recorder",
-    "set_recorder",
-    "reset_recorder",
+    "has_regressions",
+    "merge_delta",
+    "read_events",
+    "registry_diff",
+    "render_events",
+    "render_events_file",
     "recording",
+    "reset_recorder",
+    "set_recorder",
+    "snapshot_delta",
     "summarize_trace",
     "summarize_trace_file",
 ]

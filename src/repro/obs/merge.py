@@ -1,0 +1,225 @@
+"""Cross-process observability aggregation: ship deltas, merge registries.
+
+A parallel run records metrics in N worker processes, but a fleet is only
+observable as one system. Each worker snapshots its recorder as a
+JSON-serialisable *delta* at shard completion (:func:`snapshot_delta`,
+draining so consecutive deltas are disjoint) and ships it to the parent —
+over the result pipe in the healthy case, or as an atomic per-attempt
+sidecar file that the parent salvages when the worker dies before its
+message lands. The parent folds every delta into its own recorder
+(:func:`merge_delta`) with the semantics each metric kind needs:
+
+* **counters sum** — no extra labels, so a ``--jobs 8`` run and a
+  ``--jobs 1`` run of the same plan report identical aggregate counters;
+* **histograms merge bucket-wise** — bounds are validated against the
+  parent's pinned buckets (:class:`~repro.errors.ObsError` on drift), then
+  per-bucket counts, totals and counts add;
+* **gauges keep per-worker series** — a gauge is a last-write-wins sample,
+  so worker gauges get the shipping worker/shard labels appended instead
+  of clobbering each other;
+* **profile sites merge stat-wise** (calls/total sum, min/max extremes),
+  and timers left open by a worker killed mid-shard surface as the
+  ``repro_profile_abandoned_total`` counter instead of poisoning a site;
+* **trace spans are re-identified** into the parent's id space with their
+  parent links rewritten and the worker/shard attached as attributes.
+
+:func:`registry_diff` is the equality half of the contract: the selfchaos
+suite asserts an N-wide chaos run's merged counters and histograms equal
+the serial run's, modulo the runner's own fleet bookkeeping series.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.errors import ObsError
+from repro.obs.metrics import Labels, MetricsRegistry
+from repro.obs.profiling import ProfileAccumulator
+from repro.obs.tracing import TraceBuffer
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.recorder import ObsRecorder
+
+DELTA_FORMAT_VERSION = 1
+
+ABANDONED_TIMERS_METRIC = "repro_profile_abandoned_total"
+"""Counter of profile timers dropped because their worker's recorder was
+drained (snapshot/kill) while they were still open."""
+
+FLEET_SERIES_PREFIXES = ("repro_runner_", "repro_obs_", "repro_profile_")
+"""Metric-name prefixes the executor itself emits about the fleet; these
+legitimately differ between serial and parallel runs of the same plan and
+are excluded from :func:`registry_diff` by default."""
+
+
+def snapshot_delta(recorder: "ObsRecorder", drain: bool = True) -> dict:
+    """One recorder's metrics + trace + profile as a serialisable delta.
+
+    ``drain=True`` (the worker default) empties the buffers so the next
+    shard's snapshot ships only its own work.
+    """
+    return {
+        "format_version": DELTA_FORMAT_VERSION,
+        "metrics": recorder.metrics.snapshot_delta(drain=drain),
+        "trace": recorder.trace.snapshot_delta(drain=drain),
+        "profile": recorder.profile.snapshot_delta(drain=drain),
+    }
+
+
+def merge_delta(
+    recorder: "ObsRecorder",
+    delta: dict,
+    extra_labels: Labels = (),
+) -> None:
+    """Fold a shipped delta into ``recorder``.
+
+    ``extra_labels`` (typically ``(("worker", ...), ("shard", ...))``) are
+    appended to gauge series and attached to trace spans; counters,
+    histograms, and profile sites merge unlabelled so aggregates stay
+    width-independent.
+    """
+    version = delta.get("format_version")
+    if version != DELTA_FORMAT_VERSION:
+        raise ObsError(
+            f"obs delta format version {version!r} is not the expected "
+            f"{DELTA_FORMAT_VERSION} (package version drift between worker "
+            f"and parent?)"
+        )
+    merge_metrics_delta(recorder.metrics, delta["metrics"], extra_labels)
+    merge_trace_delta(recorder.trace, delta["trace"], dict(extra_labels))
+    merge_profile_delta(recorder.profile, delta["profile"])
+    abandoned = delta["profile"].get("abandoned", 0)
+    if abandoned:
+        recorder.metrics.inc(ABANDONED_TIMERS_METRIC, value=float(abandoned))
+
+
+def _labels_tuple(raw: Sequence[Sequence[str]]) -> Labels:
+    return tuple((str(key), str(value)) for key, value in raw)
+
+
+def merge_metrics_delta(
+    registry: MetricsRegistry, delta: dict, gauge_labels: Labels = ()
+) -> None:
+    """Merge one metrics snapshot into ``registry`` (see module docstring)."""
+    for name, raw_labels, value in delta.get("counters", ()):
+        registry.inc(name, _labels_tuple(raw_labels), value)
+    for name, raw_labels, value in delta.get("gauges", ()):
+        registry.set_gauge(name, value, _labels_tuple(raw_labels) + gauge_labels)
+    for name, raw_labels, series in delta.get("histograms", ()):
+        _merge_histogram(registry, name, _labels_tuple(raw_labels), series)
+
+
+def _merge_histogram(
+    registry: MetricsRegistry, name: str, labels: Labels, series: dict
+) -> None:
+    """Bucket-wise histogram merge, guarded by the registry's bucket pins."""
+    bounds = tuple(float(b) for b in series["bounds"])
+    pinned = registry._buckets.setdefault(name, bounds)
+    if pinned != bounds:
+        raise ObsError(
+            f"cannot merge histogram {name!r}: shipped buckets {bounds} "
+            f"differ from the pinned {pinned} (mixed-bucket series cannot "
+            f"be aggregated)"
+        )
+    key = (name, labels)
+    histogram = registry._histograms.get(key)
+    if histogram is None:
+        from repro.obs.metrics import Histogram
+
+        histogram = registry._histograms[key] = Histogram(bounds)
+    counts = series["bucket_counts"]
+    if len(counts) != len(histogram.bucket_counts):
+        raise ObsError(
+            f"cannot merge histogram {name!r}: shipped {len(counts)} "
+            f"buckets, registry holds {len(histogram.bucket_counts)}"
+        )
+    for index, count in enumerate(counts):
+        histogram.bucket_counts[index] += count
+    histogram.count += series["count"]
+    histogram.total += series["total"]
+
+
+def merge_trace_delta(
+    buffer: TraceBuffer, spans: Iterable[dict], extra_attrs: dict | None = None
+) -> None:
+    """Append shipped spans to ``buffer`` under fresh span ids.
+
+    Parent links are rewritten into the new id space; a child whose parent
+    was not shipped in the same delta keeps ``parent_id: None`` rather than
+    aliasing an unrelated parent-side span.
+    """
+    remapped: dict[int, int] = {}
+    for span in spans:
+        record = dict(span)
+        old_id = record.pop("span_id", None)
+        old_parent = record.pop("parent_id", None)
+        kind = record.pop("kind", "?")
+        if extra_attrs:
+            record.update(extra_attrs)
+        parent_id = remapped.get(old_parent) if old_parent is not None else None
+        new_id = buffer.record(kind, parent_id=parent_id, **record)
+        if old_id is not None:
+            remapped[old_id] = new_id
+
+
+def merge_profile_delta(profile: ProfileAccumulator, delta: dict) -> None:
+    """Merge shipped per-site timings into ``profile`` (abandoned timers
+    are the caller's concern — they become a counter, not a site)."""
+    for site, stats in delta.get("sites", {}).items():
+        calls, total_s, min_s, max_s = stats
+        existing = profile.sites.get(site)
+        if existing is None:
+            from repro.obs.profiling import SiteStats
+
+            existing = profile.sites[site] = SiteStats()
+        existing.merge(int(calls), float(total_s), float(min_s), float(max_s))
+
+
+def registry_diff(
+    left: MetricsRegistry,
+    right: MetricsRegistry,
+    ignore_prefixes: tuple[str, ...] = FLEET_SERIES_PREFIXES,
+    rel_tol: float = 1e-9,
+) -> list[str]:
+    """Human-readable differences between two registries' aggregates.
+
+    Compares counters and histograms (the width-independent kinds); gauges
+    are point-in-time per-process samples and are skipped. Float sums are
+    compared with ``rel_tol`` because a parallel merge associates additions
+    differently than a serial run. An empty list means the registries agree
+    — the assertion behind "``--jobs 8`` equals ``--jobs 1``".
+    """
+
+    def keep(name: str) -> bool:
+        return not any(name.startswith(prefix) for prefix in ignore_prefixes)
+
+    problems: list[str] = []
+    left_counters = {k: v for k, v in left._counters.items() if keep(k[0])}
+    right_counters = {k: v for k, v in right._counters.items() if keep(k[0])}
+    for key in sorted(set(left_counters) | set(right_counters)):
+        a = left_counters.get(key)
+        b = right_counters.get(key)
+        if a is None or b is None:
+            problems.append(f"counter {key}: {a} vs {b}")
+        elif not math.isclose(a, b, rel_tol=rel_tol):
+            problems.append(f"counter {key}: {a} != {b}")
+
+    left_histograms = {k: v for k, v in left._histograms.items() if keep(k[0])}
+    right_histograms = {k: v for k, v in right._histograms.items() if keep(k[0])}
+    for key in sorted(set(left_histograms) | set(right_histograms)):
+        a = left_histograms.get(key)
+        b = right_histograms.get(key)
+        if a is None or b is None:
+            problems.append(f"histogram {key}: present only on one side")
+            continue
+        if a.bounds != b.bounds:
+            problems.append(f"histogram {key}: bounds {a.bounds} != {b.bounds}")
+        if a.bucket_counts != b.bucket_counts or a.count != b.count:
+            problems.append(
+                f"histogram {key}: buckets {a.bucket_counts}/{a.count} != "
+                f"{b.bucket_counts}/{b.count}"
+            )
+        if not math.isclose(a.total, b.total, rel_tol=rel_tol):
+            problems.append(f"histogram {key}: total {a.total} != {b.total}")
+    return problems

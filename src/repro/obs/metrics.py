@@ -149,6 +149,46 @@ class MetricsRegistry:
     def is_empty(self) -> bool:
         return not (self._counters or self._gauges or self._histograms)
 
+    # -- delta serialisation -----------------------------------------------
+
+    def snapshot_delta(self, drain: bool = False) -> dict:
+        """A JSON-serialisable snapshot of every series.
+
+        The snapshot is what a parallel worker ships to its parent at shard
+        completion (:mod:`repro.obs.merge` folds it back in). With
+        ``drain=True`` the registry empties so consecutive snapshots are
+        disjoint deltas; histogram bucket pins are kept, so later
+        observations in the same process stay aggregatable.
+        """
+        delta = {
+            "counters": [
+                [name, [list(pair) for pair in labels], value]
+                for (name, labels), value in self._counters.items()
+            ],
+            "gauges": [
+                [name, [list(pair) for pair in labels], value]
+                for (name, labels), value in self._gauges.items()
+            ],
+            "histograms": [
+                [
+                    name,
+                    [list(pair) for pair in labels],
+                    {
+                        "bounds": list(histogram.bounds),
+                        "bucket_counts": list(histogram.bucket_counts),
+                        "count": histogram.count,
+                        "total": histogram.total,
+                    },
+                ]
+                for (name, labels), histogram in self._histograms.items()
+            ],
+        }
+        if drain:
+            self._counters = {}
+            self._gauges = {}
+            self._histograms = {}
+        return delta
+
     # -- exporters ---------------------------------------------------------
 
     def render_prometheus(self) -> str:

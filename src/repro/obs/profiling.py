@@ -5,6 +5,13 @@ A *site* is a stable string naming one instrumented code region
 call count and total/min/max seconds — enough to answer "where did the
 wall-clock go" for a whole run without a sampling profiler, and cheap
 enough (one ``perf_counter`` pair per call) to leave permanently wired.
+
+For cross-process aggregation the accumulator snapshots as a serialisable
+*delta* (:meth:`ProfileAccumulator.snapshot_delta`). A draining snapshot
+bumps an internal epoch: timers still open at snapshot time are counted as
+*abandoned* (they belong to work that was cut short — a worker killed
+mid-shard) and their eventual close is discarded instead of poisoning the
+next delta with a partial measurement.
 """
 
 from __future__ import annotations
@@ -30,23 +37,36 @@ class SiteStats:
         if seconds > self.max_s:
             self.max_s = seconds
 
+    def merge(self, calls: int, total_s: float, min_s: float, max_s: float) -> None:
+        """Fold another accumulator's stats for the same site into this one."""
+        self.calls += calls
+        self.total_s += total_s
+        if min_s < self.min_s:
+            self.min_s = min_s
+        if max_s > self.max_s:
+            self.max_s = max_s
+
 
 class _Timer:
     """Context manager timing one region into an accumulator site."""
 
-    __slots__ = ("_profile", "_site", "_start")
+    __slots__ = ("_profile", "_site", "_start", "_epoch")
 
     def __init__(self, profile: "ProfileAccumulator", site: str) -> None:
         self._profile = profile
         self._site = site
         self._start = 0.0
+        self._epoch = 0
 
     def __enter__(self) -> "_Timer":
+        self._epoch = self._profile._open_timer()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self._profile.add(self._site, time.perf_counter() - self._start)
+        self._profile._close_timer(
+            self._site, time.perf_counter() - self._start, self._epoch
+        )
 
 
 @dataclass
@@ -54,6 +74,8 @@ class ProfileAccumulator:
     """Per-site wall-clock accounting for one recording session."""
 
     sites: dict[str, SiteStats] = field(default_factory=dict)
+    _epoch: int = field(default=0, repr=False)
+    _open: int = field(default=0, repr=False)
 
     def timer(self, site: str) -> _Timer:
         """A context manager that charges its elapsed time to ``site``."""
@@ -64,6 +86,48 @@ class ProfileAccumulator:
         if stats is None:
             stats = self.sites[site] = SiteStats()
         stats.add(seconds)
+
+    # -- timer bookkeeping (epoch-guarded against draining snapshots) ------
+
+    def _open_timer(self) -> int:
+        self._open += 1
+        return self._epoch
+
+    def _close_timer(self, site: str, seconds: float, epoch: int) -> None:
+        if epoch != self._epoch:
+            # The accumulator was drained while this timer was open: its
+            # measurement spans the snapshot boundary and was already
+            # counted as abandoned — discard rather than mis-attribute.
+            return
+        self._open -= 1
+        self.add(site, seconds)
+
+    @property
+    def open_timers(self) -> int:
+        """How many timers are currently open (this epoch)."""
+        return self._open
+
+    # -- delta serialisation -----------------------------------------------
+
+    def snapshot_delta(self, drain: bool = False) -> dict:
+        """A JSON-serialisable snapshot of every site.
+
+        With ``drain=True`` the accumulator resets for the next delta and
+        any still-open timer is *abandoned*: reported in the snapshot's
+        ``"abandoned"`` count and discarded when it eventually closes.
+        """
+        delta = {
+            "sites": {
+                site: [stats.calls, stats.total_s, stats.min_s, stats.max_s]
+                for site, stats in self.sites.items()
+            },
+            "abandoned": self._open if drain else 0,
+        }
+        if drain:
+            self.sites = {}
+            self._epoch += 1
+            self._open = 0
+        return delta
 
     @property
     def is_empty(self) -> bool:

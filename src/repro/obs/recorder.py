@@ -63,6 +63,7 @@ class NoopRecorder:
 
     __slots__ = ()
     enabled = False
+    events = None
 
     def inc(self, name: str, labels: Labels = (), value: float = 1.0) -> None:
         return None
@@ -88,6 +89,9 @@ class NoopRecorder:
     def record_span(self, kind: str, parent_id: int | None = None, **attrs: Any) -> int:
         return 0
 
+    def event(self, name: str, **fields: Any) -> None:
+        return None
+
     def flush(
         self,
         metrics_path: str | Path | None = None,
@@ -106,10 +110,12 @@ class ObsRecorder:
         metrics: MetricsRegistry | None = None,
         trace: TraceBuffer | None = None,
         profile: ProfileAccumulator | None = None,
+        events: Any = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace if trace is not None else TraceBuffer()
         self.profile = profile if profile is not None else ProfileAccumulator()
+        self.events = events  # an EventLog, wired per run by the runner
 
     # -- metrics -----------------------------------------------------------
 
@@ -141,6 +147,27 @@ class ObsRecorder:
     def record_span(self, kind: str, parent_id: int | None = None, **attrs: Any) -> int:
         return self.trace.record(kind, parent_id=parent_id, **attrs)
 
+    # -- run event log -----------------------------------------------------
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Append to the run event log, when one is wired (else a no-op)."""
+        if self.events is not None:
+            self.events.emit(name, **fields)
+
+    # -- cross-process deltas ----------------------------------------------
+
+    def snapshot_delta(self, drain: bool = True) -> dict:
+        """This recorder's buffers as one shippable delta (worker side)."""
+        from repro.obs.merge import snapshot_delta
+
+        return snapshot_delta(self, drain=drain)
+
+    def merge_delta(self, delta: dict, extra_labels: Labels = ()) -> None:
+        """Fold a worker's shipped delta into this recorder (parent side)."""
+        from repro.obs.merge import merge_delta
+
+        merge_delta(self, delta, extra_labels)
+
     # -- export ------------------------------------------------------------
 
     def _export_profile(self) -> None:
@@ -165,6 +192,12 @@ class ObsRecorder:
             self.metrics.write_prometheus(metrics_path)
         if trace_path is not None:
             self.trace.flush(trace_path)
+        if metrics_path is not None or trace_path is not None:
+            self.event(
+                "obs_flush",
+                metrics=None if metrics_path is None else str(metrics_path),
+                trace=None if trace_path is None else str(trace_path),
+            )
 
 
 NOOP_RECORDER = NoopRecorder()

@@ -78,6 +78,19 @@ class TraceBuffer:
         """A snapshot of every buffered span."""
         return [dict(span) for span in self._spans]
 
+    def snapshot_delta(self, drain: bool = False) -> list[dict]:
+        """A JSON-serialisable snapshot of every buffered span.
+
+        With ``drain=True`` the buffer empties (span ids keep counting up,
+        so ids within one process never repeat across deltas); the parent
+        re-ids shipped spans on merge anyway (:mod:`repro.obs.merge`), so
+        parent-side and worker-side spans can share one buffer.
+        """
+        spans = [dict(span) for span in self._spans]
+        if drain:
+            self._spans = []
+        return spans
+
     def flush(self, path: str | Path) -> int:
         """Atomically write every buffered span as JSONL; returns the count.
 

@@ -53,6 +53,7 @@ class RunnerOptions:
     max_shards: int | None = None
     jobs: int = 1
     mp_start_method: str | None = None
+    progress_every: int | None = None
     retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
@@ -67,6 +68,10 @@ class RunnerOptions:
             raise RunnerError(f"--max-shards must be >= 1, got {self.max_shards}")
         if self.jobs < 1:
             raise RunnerError(f"--jobs must be >= 1, got {self.jobs}")
+        if self.progress_every is not None and self.progress_every < 1:
+            raise RunnerError(
+                f"--progress-every must be >= 1, got {self.progress_every}"
+            )
         valid_methods = (None, "fork", "spawn", "forkserver")
         if self.mp_start_method not in valid_methods:
             raise RunnerError(
@@ -98,24 +103,59 @@ class ExperimentRunner:
 
         rec = get_recorder()
         shard_seconds = self._prior_shard_seconds(store) if rec.enabled else {}
+        if rec.enabled and (
+            rec.events is None
+            or getattr(rec.events, "path", None) != store.events_path
+        ):
+            # Wire the run event log once per run directory; a resumed run
+            # appends its own segment after the interrupted one's.
+            from repro.obs.events import EventLog
 
-        with InterruptGuard() as guard:
-            if self.options.jobs > 1 and pending:
-                from repro.runner.parallel import execute_pending_parallel
+            rec.events = EventLog(store.events_path)
+        rec.event(
+            "run_start",
+            experiment=self.plan.experiment,
+            jobs=self.options.jobs,
+            pending=len(pending),
+            total=len(self.plan.shard_ids),
+            resumed=self.options.resume,
+        )
 
-                execute_pending_parallel(
-                    plan=self.plan,
-                    store=store,
-                    options=self.options,
-                    pending=pending,
-                    deadline=deadline,
-                    guard=guard,
-                    already_done=len(done),
-                    prior_shard_seconds=shard_seconds,
-                )
-            else:
-                self._execute_serial(
-                    store, pending, deadline, guard, len(done), shard_seconds
+        started = time.perf_counter()
+        try:
+            with InterruptGuard() as guard:
+                if self.options.jobs > 1 and pending:
+                    from repro.runner.parallel import execute_pending_parallel
+
+                    execute_pending_parallel(
+                        plan=self.plan,
+                        store=store,
+                        options=self.options,
+                        pending=pending,
+                        deadline=deadline,
+                        guard=guard,
+                        already_done=len(done),
+                        prior_shard_seconds=shard_seconds,
+                    )
+                else:
+                    self._execute_serial(
+                        store, pending, deadline, guard, len(done), shard_seconds
+                    )
+        except RunInterruptedError as exc:
+            rec.event("run_interrupted", detail=str(exc))
+            raise
+        except DeadlineExceededError as exc:
+            rec.event("deadline_exceeded", detail=str(exc))
+            raise
+        finally:
+            if rec.enabled:
+                on_disk = sum(1 for _ in store.shard_dir.glob("*.json"))
+                print(
+                    f"obs: run {self.plan.experiment}: {on_disk}/"
+                    f"{len(self.plan.shard_ids)} shards on disk after "
+                    f"{time.perf_counter() - started:.2f}s "
+                    f"(jobs={self.options.jobs})",
+                    file=sys.stderr,
                 )
 
         # Merge strictly from disk so an uninterrupted run and a resumed
@@ -132,6 +172,7 @@ class ExperimentRunner:
         # Every shard is verified on disk; any earlier quarantine verdict
         # (a previous parallel run's evidence) is now obsolete.
         store.clear_quarantine_record()
+        rec.event("run_completed", shards=len(payloads))
         return text
 
     def _execute_serial(
@@ -159,6 +200,7 @@ class ExperimentRunner:
                     f"shards on disk); resume with --resume"
                 )
             started = time.perf_counter()
+            rec.event("shard_assigned", shard=shard_id, worker=0)
             with rec.timer("runner.shard"):
                 payload = self._run_shard_with_retry(shard_id, deadline, guard)
             store.write_shard(shard_id, payload)
@@ -168,13 +210,21 @@ class ExperimentRunner:
                     time.perf_counter() - started, 6
                 )
                 store.update_manifest_obs({"shard_seconds": shard_seconds})
-                print(
-                    f"obs: shard {shard_id} done in "
-                    f"{shard_seconds[shard_id]:.2f}s "
-                    f"({done_count + executed}/{len(self.plan.shard_ids)} "
-                    f"on disk)",
-                    file=sys.stderr,
+                rec.event(
+                    "shard_completed",
+                    shard=shard_id,
+                    worker=0,
+                    wall_s=shard_seconds[shard_id],
                 )
+                every = self.options.progress_every
+                if every is not None and executed % every == 0:
+                    print(
+                        f"obs: shard {shard_id} done in "
+                        f"{shard_seconds[shard_id]:.2f}s "
+                        f"({done_count + executed}/{len(self.plan.shard_ids)} "
+                        f"on disk)",
+                        file=sys.stderr,
+                    )
 
     @staticmethod
     def _prior_shard_seconds(store: CheckpointStore) -> dict[str, float]:
@@ -227,6 +277,13 @@ class ExperimentRunner:
                 last_error = exc
             finally:
                 set_current_attempt(None)
+            get_recorder().event(
+                "shard_retried",
+                shard=shard_id,
+                attempt=attempt,
+                kind=type(last_error).__name__,
+                detail=str(last_error),
+            )
             if attempt < policy.max_attempts:
                 # Sliced wait: a first SIGINT during backoff is noticed
                 # within one slice, and the loop's guard.check() turns it

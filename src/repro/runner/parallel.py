@@ -26,6 +26,13 @@ contract:
   ``quarantine.json`` while the rest of the run completes; the run then
   exits with :class:`~repro.errors.ShardQuarantinedError` (its own exit
   code) instead of deadlocking or losing the healthy shards.
+* **Observability is shipped, never shared.** Under an instrumented
+  parent each worker records into its own recorder and drains it to a
+  serialisable delta per shard attempt, shipped inside the result message
+  and parked in an atomic ``obs/`` sidecar the parent salvages if the
+  worker dies first (:mod:`repro.obs.merge`). The parent folds every
+  delta into the run's recorder, so a ``--jobs 8`` run and a ``--jobs 1``
+  run report identical aggregate counters and histograms.
 * **Signals drain, then stop.** The first SIGINT/SIGTERM stops new
   assignments and waits for in-flight shards to finish and flush; the
   second terminates the pool immediately (both via
@@ -42,6 +49,7 @@ byte-identical output.
 
 from __future__ import annotations
 
+import json
 import multiprocessing as mp
 import sys
 import threading
@@ -50,9 +58,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
 from multiprocessing.connection import wait as connection_wait
+from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.atomicio import atomic_write_text
 from repro.errors import (
+    ObsError,
     RunInterruptedError,
     RunnerError,
     ShardQuarantinedError,
@@ -78,6 +89,12 @@ _STOP_GRACE_S = 1.0
 
 QUARANTINE_FORMAT_VERSION = 1
 
+_post_sidecar_test_hook = None
+"""Test seam: called as ``(shard_id, attempt)`` in the worker right after
+its obs sidecar lands and before the result message is sent. Fork-started
+workers inherit a monkeypatched value, letting tests kill a worker in the
+exact window where the sidecar is the only surviving copy of its obs."""
+
 
 def default_start_method() -> str:
     """``fork`` where the platform offers it (cheap, inherits registry
@@ -95,22 +112,57 @@ def _worker_main(
     config: dict[str, Any],
     worker_id: int,
     heartbeat_interval_s: float,
+    obs_sidecar_dir: str | None = None,
 ) -> None:
     """One worker process: rebuild the plan, then serve run requests.
 
-    Never touches the checkpoint store or the recorder — observability and
-    persistence are parent-side concerns. Ignores SIGINT (the parent owns
-    interruption policy) and leaves SIGTERM at its default so the parent's
-    ``terminate()`` works even mid-shard.
+    Never touches the checkpoint store — persistence is a parent-side
+    concern. Ignores SIGINT (the parent owns interruption policy) and
+    leaves SIGTERM at its default so the parent's ``terminate()`` works
+    even mid-shard.
+
+    With ``obs_sidecar_dir`` set (the parent runs instrumented) the worker
+    records into its own live recorder and, after every shard attempt,
+    drains it into a serialisable delta that travels back two ways: inside
+    the result message, and as an atomic per-attempt sidecar file the
+    parent salvages if this process dies before the message lands. With it
+    unset the recorder is the no-op default and deltas are ``None``.
     """
     import signal as _signal
 
     _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
     if hasattr(_signal, "SIGTERM"):
         _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
-    from repro.obs.recorder import reset_recorder
+    from repro.obs.recorder import ObsRecorder, reset_recorder, set_recorder
 
-    reset_recorder()
+    if obs_sidecar_dir is None:
+        reset_recorder()
+    else:
+        set_recorder(ObsRecorder())
+
+    def _snapshot_and_park(shard_id: str, attempt: int) -> dict | None:
+        """This attempt's obs as a delta, parked in a crash-salvage sidecar."""
+        if obs_sidecar_dir is None:
+            return None
+        delta = get_recorder().snapshot_delta(drain=True)
+        try:
+            atomic_write_text(
+                Path(obs_sidecar_dir) / f"{shard_id}.a{attempt}.json",
+                json.dumps(
+                    {
+                        "shard": shard_id,
+                        "attempt": attempt,
+                        "worker": worker_id,
+                        "delta": delta,
+                    }
+                ),
+            )
+        except OSError:
+            pass  # salvage is best-effort; the pipe copy still ships
+        hook = _post_sidecar_test_hook
+        if hook is not None:
+            hook(shard_id, attempt)
+        return delta
 
     send_lock = threading.Lock()
     inflight: dict[str, Any] = {"shard": None, "attempt": None}
@@ -149,6 +201,7 @@ def _worker_main(
         try:
             payload = plan.run_shard(shard_id)
         except BaseException as exc:  # noqa: BLE001 - everything is reportable
+            delta = _snapshot_and_park(shard_id, attempt)
             _send(
                 (
                     "err",
@@ -157,12 +210,14 @@ def _worker_main(
                     attempt,
                     "exception",
                     f"{type(exc).__name__}: {exc}",
+                    delta,
                 )
             )
         else:
             wall_s = time.perf_counter() - started
+            delta = _snapshot_and_park(shard_id, attempt)
             try:
-                _send(("ok", worker_id, shard_id, attempt, payload, wall_s))
+                _send(("ok", worker_id, shard_id, attempt, payload, wall_s, delta))
             except Exception as exc:  # noqa: BLE001 - unpicklable payload
                 _send(
                     (
@@ -172,6 +227,7 @@ def _worker_main(
                         attempt,
                         "garbage",
                         f"unsendable payload: {type(exc).__name__}: {exc}",
+                        delta,
                     )
                 )
         inflight["shard"] = inflight["attempt"] = None
@@ -245,6 +301,85 @@ def execute_pending_parallel(
     next_wid = 0
     executed = 0
     draining: str | None = None  # None | "signal" | "max-shards"
+    merged: set[tuple[str, int]] = set()  # (shard, attempt) deltas folded in
+    obs_sidecar_dir: str | None = None
+    if rec.enabled:
+        store.obs_dir.mkdir(parents=True, exist_ok=True)
+        obs_sidecar_dir = str(store.obs_dir)
+
+    def _sidecar_path(shard_id: str, attempt: int) -> Path:
+        return store.obs_dir / f"{shard_id}.a{attempt}.json"
+
+    def _discard_sidecar(shard_id: str, attempt: int) -> None:
+        try:
+            _sidecar_path(shard_id, attempt).unlink()
+        except OSError:
+            pass
+
+    def _merge_worker_delta(
+        delta: dict | None,
+        shard_id: str,
+        attempt: int,
+        wid: int,
+        salvaged: bool = False,
+    ) -> None:
+        """Fold one worker attempt's obs delta into the parent recorder.
+
+        The ``merged`` set makes channel delivery and sidecar salvage of
+        the same attempt idempotent: whichever copy arrives first wins,
+        the other is discarded.
+        """
+        if not rec.enabled or delta is None or (shard_id, attempt) in merged:
+            return
+        merged.add((shard_id, attempt))
+        try:
+            rec.merge_delta(
+                delta, extra_labels=(("shard", shard_id), ("worker", str(wid)))
+            )
+        except (ObsError, KeyError, TypeError, ValueError) as exc:
+            print(
+                f"obs: dropping undecodable delta for shard {shard_id} "
+                f"attempt {attempt}: {exc}",
+                file=sys.stderr,
+            )
+            return
+        rec.inc(
+            "repro_obs_deltas_salvaged_total"
+            if salvaged
+            else "repro_obs_deltas_merged_total"
+        )
+        _discard_sidecar(shard_id, attempt)
+
+    def _salvage_sidecar(shard_id: str, attempt: int) -> None:
+        """Recover a dead worker's parked obs delta, if the pipe lost it."""
+        if not rec.enabled or (shard_id, attempt) in merged:
+            return
+        try:
+            record = json.loads(_sidecar_path(shard_id, attempt).read_text())
+            delta = record["delta"]
+            wid = int(record.get("worker", -1))
+        except (OSError, ValueError, KeyError, TypeError):
+            return  # no sidecar (worker died pre-write) or a torn irrelevance
+        _merge_worker_delta(delta, shard_id, attempt, wid, salvaged=True)
+        rec.event("obs_salvaged", shard=shard_id, attempt=attempt, worker=wid)
+
+    def _sweep_sidecars() -> None:
+        """Final pass: salvage any unmerged sidecars, then clear the dir."""
+        if not rec.enabled:
+            return
+        for path in sorted(store.obs_dir.glob("*.json")):
+            name = path.name[: -len(".json")]
+            shard_id, separator, raw_attempt = name.rpartition(".a")
+            if separator and shard_id and raw_attempt.isdigit():
+                _salvage_sidecar(shard_id, int(raw_attempt))
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            store.obs_dir.rmdir()
+        except OSError:
+            pass  # non-empty (foreign files) or already gone
 
     def _update_obs() -> None:
         if rec.enabled:
@@ -277,7 +412,13 @@ def execute_pending_parallel(
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, plan.config, next_wid, HEARTBEAT_INTERVAL_S),
+            args=(
+                child_conn,
+                plan.config,
+                next_wid,
+                HEARTBEAT_INTERVAL_S,
+                obs_sidecar_dir,
+            ),
             name=f"repro-shard-worker-{next_wid}",
             daemon=True,
         )
@@ -289,6 +430,7 @@ def execute_pending_parallel(
         if rec.enabled:
             rec.inc("repro_runner_worker_spawns_total")
             rec.set_gauge("repro_runner_workers", len(workers))
+            rec.event("worker_spawned", worker=worker.wid, pid=proc.pid)
         return worker
 
     def _remove(worker: _Worker) -> None:
@@ -316,12 +458,22 @@ def execute_pending_parallel(
         if st.attempts >= policy.max_attempts:
             quarantined[shard_id] = st
             _write_quarantine_record()
+            rec.event(
+                "shard_quarantined", shard=shard_id, attempts=st.attempts, kind=kind
+            )
             print(
                 f"runner: quarantining shard {shard_id!r} after "
                 f"{st.attempts} attempt(s); last failure: {kind}: {detail}",
                 file=sys.stderr,
             )
         else:
+            rec.event(
+                "shard_retried",
+                shard=shard_id,
+                attempt=attempt,
+                kind=kind,
+                detail=detail,
+            )
             if draining is None:
                 st.eligible_at = now + policy.backoff_ms(st.attempts) / 1000.0
             queue.append(shard_id)
@@ -343,7 +495,10 @@ def execute_pending_parallel(
                 f"{plan.experiment!r} plan: {message[2]}"
             )
         if kind == "ok":
-            _, wid, shard_id, attempt, payload, wall_s = message
+            _, wid, shard_id, attempt, payload, wall_s, delta = message
+            # Merge before the stale-echo check: even a shard the parent
+            # has since failed elsewhere really did run — its obs counts.
+            _merge_worker_delta(delta, shard_id, attempt, wid)
             if worker.shard != shard_id:
                 return  # stale echo of a shard already failed elsewhere
             worker.shard = None
@@ -364,14 +519,25 @@ def execute_pending_parallel(
                 shard_seconds[shard_id] = round(wall_s, 6)
                 shard_workers[shard_id] = wid
                 _update_obs()
-                print(
-                    f"obs: shard {shard_id} done in {wall_s:.2f}s on "
-                    f"worker {wid} ({already_done + executed}/{total} on disk)",
-                    file=sys.stderr,
+                rec.event(
+                    "shard_completed",
+                    shard=shard_id,
+                    attempt=attempt,
+                    worker=wid,
+                    wall_s=round(wall_s, 6),
                 )
+                every = options.progress_every
+                if every is not None and executed % every == 0:
+                    print(
+                        f"obs: shard {shard_id} done in {wall_s:.2f}s on "
+                        f"worker {wid} ({already_done + executed}/{total} "
+                        f"on disk)",
+                        file=sys.stderr,
+                    )
             return
         if kind == "err":
-            _, _wid, shard_id, attempt, failure_kind, detail = message
+            _, wid, shard_id, attempt, failure_kind, detail, delta = message
+            _merge_worker_delta(delta, shard_id, attempt, wid)
             if worker.shard != shard_id:
                 return
             worker.shard = None
@@ -399,7 +565,17 @@ def execute_pending_parallel(
         _remove(worker)
         if rec.enabled:
             rec.inc("repro_runner_worker_deaths_total")
+            rec.event(
+                "worker_died",
+                worker=worker.wid,
+                exitcode=exitcode,
+                shard=shard_id,
+            )
         if shard_id is not None:
+            # The worker may have parked this attempt's obs in its sidecar
+            # after finishing the shard but before its result message
+            # survived the pipe; that work happened, so salvage it.
+            _salvage_sidecar(shard_id, attempt)
             _fail(
                 shard_id,
                 attempt,
@@ -416,6 +592,13 @@ def execute_pending_parallel(
         _remove(worker)
         if rec.enabled:
             rec.inc("repro_runner_shard_timeouts_total")
+            rec.event(
+                "worker_killed",
+                worker=worker.wid,
+                shard=shard_id,
+                timeout_s=options.shard_deadline_s,
+            )
+            _salvage_sidecar(shard_id, attempt)
         _fail(
             shard_id,
             attempt,
@@ -458,6 +641,12 @@ def execute_pending_parallel(
                 # Worker vanished between spawn and send; its sentinel
                 # fires on the next tick and requeues the shard.
                 return
+            rec.event(
+                "shard_assigned",
+                shard=eligible,
+                attempt=st.attempts,
+                worker=worker.wid,
+            )
 
     def _wait_timeout(now: float) -> float:
         timeout = _POLL_TIMEOUT_S
@@ -494,6 +683,7 @@ def execute_pending_parallel(
             deadline.check()  # expiry kills the pool via the finally below
             if draining is None and guard.interrupted:
                 draining = "signal"
+                rec.event("drain", reason="signal", inflight=len(_inflight()))
                 print(
                     f"runner: interrupt received; draining "
                     f"{len(_inflight())} in-flight shard(s) before exiting",
@@ -505,6 +695,7 @@ def execute_pending_parallel(
                 and executed >= options.max_shards
             ):
                 draining = "max-shards"
+                rec.event("drain", reason="max-shards", inflight=len(_inflight()))
             if draining is not None:
                 if not _inflight():
                     break
@@ -542,6 +733,7 @@ def execute_pending_parallel(
                         _handle_overdue(worker, now)
     finally:
         _shutdown_pool()
+        _sweep_sidecars()
         _update_obs()
 
     if draining == "signal":

@@ -11,6 +11,11 @@ The two load-bearing guarantees:
 """
 
 import json
+import os
+import signal
+import subprocess
+import sys
+import time
 
 import numpy as np
 import pytest
@@ -25,7 +30,7 @@ from repro.faults import (
     TransientAttemptLoss,
 )
 from repro.geo.coordinates import GeoPoint
-from repro.obs import ObsRecorder, recording, reset_recorder
+from repro.obs import ObsRecorder, read_events, recording, reset_recorder
 from repro.obs.tracing import read_trace
 from repro.spacecdn.system import SpaceCdnSystem
 
@@ -321,6 +326,98 @@ class TestInterruptionFlush:
         capsys.readouterr()
         assert main(self.BASE + ["--out-dir", str(other), "--resume"]) == 0
         capsys.readouterr()
+
+
+class TestFleetInterruption:
+    """Obs artifact integrity when a parallel run stops early: the merged
+    metrics, trace, and event log land complete and parseable, and no
+    worker sidecar survives the sweep."""
+
+    WIDE = [
+        "run", "chaos",
+        "--shell", "small",
+        "--requests", "30",
+        "--fractions", "0.0,0.1,0.2,0.3",
+        "--seed", "5",
+    ]
+
+    def test_interrupted_parallel_run_flushes_parseable_artifacts(
+        self, tmp_path, capsys
+    ):
+        """--max-shards stops a --jobs run through the same drain path as
+        the first SIGINT; every obs artifact must still parse."""
+        run_dir = tmp_path / "partial"
+        code = main(
+            self.WIDE
+            + [
+                "--obs", "--jobs", "2",
+                "--out-dir", str(run_dir),
+                "--max-shards", "1",
+            ]
+        )
+        assert code == EXIT_INTERRUPTED
+        capsys.readouterr()
+
+        assert list(read_trace(run_dir / "obs-trace.jsonl"))
+        assert "repro_serve_total" in (run_dir / "obs-metrics.prom").read_text()
+        names = [e["event"] for e in read_events(run_dir / "events.jsonl")]
+        assert names[0] == "run_start"
+        assert "drain" in names
+        assert "run_interrupted" in names
+        # Every worker delta was merged or salvaged; nothing left behind.
+        assert not (run_dir / "obs").exists()
+
+    def test_sigint_mid_parallel_run_leaves_parseable_artifacts(self, tmp_path):
+        """A real SIGINT delivered to a live --jobs 4 supervisor: whether it
+        lands mid-run (exit 5) or after completion (exit 0), the metrics,
+        trace, and event log on disk are complete and parseable."""
+        import repro
+
+        run_dir = tmp_path / "sigint"
+        cmd = [
+            sys.executable, "-m", "repro",
+            "run", "chaos",
+            "--shell", "small",
+            "--requests", "120",
+            "--fractions", "0.0,0.1,0.2,0.3,0.4,0.5",
+            "--seed", "5",
+            "--obs", "--jobs", "4",
+            "--out-dir", str(run_dir),
+        ]
+        env = dict(os.environ)
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        try:
+            events_path = run_dir / "events.jsonl"
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not events_path.exists():
+                time.sleep(0.01)
+            proc.send_signal(signal.SIGINT)
+            code = proc.wait(timeout=60)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert code in (0, EXIT_INTERRUPTED)
+
+        names = [e["event"] for e in read_events(run_dir / "events.jsonl")]
+        assert names[0] == "run_start"
+        if code == EXIT_INTERRUPTED:
+            assert "run_interrupted" in names
+        else:
+            assert "run_completed" in names
+        # The flush is complete-or-absent, never truncated.
+        trace_path = run_dir / "obs-trace.jsonl"
+        if trace_path.exists():
+            list(read_trace(trace_path))
+        metrics_path = run_dir / "obs-metrics.prom"
+        if metrics_path.exists():
+            text = metrics_path.read_text()
+            assert text == "" or text.endswith("\n")
+        assert not (run_dir / "obs").exists()
 
 
 class TestCohortTracing:

@@ -79,10 +79,42 @@ def build_sigtoy(seed=5, width=4, signal_shard="s00", linger_s=0.3):
     )
 
 
+def build_obstoy(seed=1, width=6):
+    """ptoy plus deterministic per-shard instrumentation: every metric kind
+    the fleet-obs merge must aggregate (counters, histogram, gauge, span,
+    profile timer), recorded identically whichever process runs the shard."""
+    base = build_ptoy(seed, width)
+
+    def run_shard(sid):
+        from repro.obs.recorder import get_recorder
+
+        rec = get_recorder()
+        index = int(sid[1:])
+        rec.inc("repro_obstoy_shards_total")
+        rec.inc("repro_obstoy_value_total", value=float(index * seed))
+        rec.observe("repro_obstoy_index", float(index), buckets=(2.0, 4.0))
+        rec.set_gauge("repro_obstoy_last_index", float(index))
+        with rec.timer("obstoy.shard"):
+            pass
+        rec.record_span("obstoy_shard", shard=sid)
+        return base.run_shard(sid)
+
+    return ExperimentPlan(
+        experiment="obstoy",
+        config={"experiment": "obstoy", "seed": seed, "width": width},
+        shard_ids=base.shard_ids,
+        run_shard=run_shard,
+        merge=base.merge,
+        format=base.format,
+    )
+
+
 register_plan_builder("ptoy", lambda: build_ptoy)
 register_plan_builder("sigtoy", lambda: build_sigtoy)
+register_plan_builder("obstoy", lambda: build_obstoy)
 
 PTOY_CONFIG = {"experiment": "ptoy", "seed": 3, "width": 6}
+OBSTOY_CONFIG = {"experiment": "obstoy", "seed": 3, "width": 6}
 
 
 def fast_policy(max_attempts=3):
@@ -418,6 +450,120 @@ class TestObservability:
         obs = manifest["obs"]
         assert set(obs["shard_seconds"]) == set(build_ptoy(3, 6).shard_ids)
         assert set(obs["shard_workers"]) == set(build_ptoy(3, 6).shard_ids)
+
+
+class TestFleetObservability:
+    """The fleet-obs contract: a ``--jobs N`` run's merged registry is
+    indistinguishable from the serial run's (counters sum, histograms merge
+    bucket-wise), whatever failures the fleet survived along the way."""
+
+    def run_with_obs(self, run_dir, jobs, plan=None, **options):
+        from repro.obs import ObsRecorder, recording
+
+        recorder = ObsRecorder()
+        if plan is None:
+            plan = build_obstoy(3, 6)
+        with recording(recorder):
+            out = ExperimentRunner(
+                run_dir=run_dir,
+                plan=plan,
+                options=RunnerOptions(
+                    jobs=jobs, retry_policy=fast_policy(), **options
+                ),
+            ).execute()
+        if recorder.events is not None:
+            recorder.events.close()
+        return out, recorder
+
+    def test_parallel_aggregates_equal_serial(self, tmp_path):
+        from repro.obs import registry_diff
+
+        serial_out, serial = self.run_with_obs(tmp_path / "serial", 1)
+        fleet_out, fleet = self.run_with_obs(tmp_path / "fleet", 4)
+        assert fleet_out == serial_out
+        assert registry_diff(fleet.metrics, serial.metrics) == []
+
+    def test_chaos_run_aggregates_equal_clean_serial(self, tmp_path):
+        """Crashed and killed attempts ship no obs, so the merged registry
+        of a chaos run still equals the clean serial run's."""
+        from repro.obs import registry_diff
+        from repro.obs.merge import FLEET_SERIES_PREFIXES
+
+        serial_out, serial = self.run_with_obs(tmp_path / "serial", 1)
+        plan = selfchaos.build_plan(
+            OBSTOY_CONFIG, {"s01": {1: "crash"}, "s02": {1: "kill"}}
+        )
+        fleet_out, fleet = self.run_with_obs(tmp_path / "fleet", 4, plan=plan)
+        assert fleet_out == serial_out
+        # The supervisor's own retry backoff is fleet bookkeeping, not
+        # plan obs — only the chaos run has any.
+        ignore = FLEET_SERIES_PREFIXES + ("repro_retry_",)
+        diff = registry_diff(fleet.metrics, serial.metrics, ignore_prefixes=ignore)
+        assert diff == []
+
+    def test_post_completion_death_salvaged_from_sidecar(
+        self, tmp_path, monkeypatch
+    ):
+        """A worker dying after its sidecar lands but before the result
+        message sends loses the pipe copy; the parent recovers the delta
+        from the sidecar and the retried attempt is counted too (the shard
+        genuinely ran twice)."""
+        from repro.runner import parallel as parallel_mod
+
+        serial_out, _ = self.run_with_obs(tmp_path / "serial", 1)
+
+        def die_after_sidecar(shard_id, attempt):
+            if shard_id == "s02" and attempt == 1:
+                os._exit(77)
+
+        monkeypatch.setattr(
+            parallel_mod, "_post_sidecar_test_hook", die_after_sidecar
+        )
+        fleet_out, fleet = self.run_with_obs(tmp_path / "fleet", 3)
+        assert fleet_out == serial_out
+        metrics = fleet.metrics
+        assert metrics.counter_value("repro_obs_deltas_salvaged_total") == 1.0
+        # 6 shards, s02 executed twice: once salvaged, once via the retry.
+        assert metrics.counter_value("repro_obstoy_shards_total") == 7.0
+        assert metrics.counter_value("repro_obstoy_value_total") == 51.0
+        # No sidecars left behind once the run ends.
+        assert not (tmp_path / "fleet" / "obs").exists()
+
+    def test_event_log_records_the_run_lifecycle(self, tmp_path):
+        from repro.obs import read_events
+
+        run_dir = tmp_path / "run"
+        self.run_with_obs(run_dir, 3)
+        events = list(read_events(run_dir / "events.jsonl"))
+        names = [event["event"] for event in events]
+        assert names[0] == "run_start"
+        assert names[-1] == "run_completed"
+        assert "worker_spawned" in names
+        completed = {
+            event["shard"]
+            for event in events
+            if event["event"] == "shard_completed"
+        }
+        assert completed == set(build_obstoy(3, 6).shard_ids)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_per_shard_progress_quiet_by_default(self, tmp_path, capsys, jobs):
+        self.run_with_obs(tmp_path / "run", jobs)
+        err = capsys.readouterr().err
+        assert "obs: shard" not in err
+        assert "shards on disk after" in err  # the final summary always lands
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_progress_every_rate_limits_the_heartbeat(
+        self, tmp_path, capsys, jobs
+    ):
+        self.run_with_obs(tmp_path / "run", jobs, progress_every=2)
+        err = capsys.readouterr().err
+        assert err.count("obs: shard") == 3  # 6 shards, every 2nd reported
+
+    def test_progress_every_must_be_positive(self):
+        with pytest.raises(RunnerError, match="progress-every"):
+            RunnerOptions(progress_every=0)
 
 
 class TestCliExitCodes:
