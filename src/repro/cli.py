@@ -32,7 +32,8 @@ fault/experiment configuration; 5 interrupted (checkpoints flushed);
 6 deadline exceeded; 7 a shard exhausted its retries (serial);
 8 shard(s) quarantined by the parallel executor (rest of the run
 completed; see ``quarantine.json``); 9 benchmark regression detected by
-``repro obs diff``.
+``repro obs diff``; 10 a request was shed by overload protection
+(admission control, an open circuit breaker, or a deadline budget).
 """
 
 from __future__ import annotations
@@ -44,6 +45,7 @@ from typing import Callable
 from repro.errors import (
     DeadlineExceededError,
     FaultConfigError,
+    OverloadedError,
     ReproError,
     RunInterruptedError,
     ShardExhaustedError,
@@ -72,6 +74,9 @@ fix the cause and rerun with ``--resume``."""
 EXIT_REGRESSION = 9
 """``repro obs diff`` found at least one benchmark metric past its budget
 (the CI bench-regression gate keys off this)."""
+EXIT_OVERLOADED = 10
+"""A request was shed by overload protection: admission control refused
+it, its circuit breaker was open, or its deadline budget ran out."""
 
 _EXPERIMENTS: dict[str, str] = {
     "chaos": "Chaos sweep: availability and latency under injected failures",
@@ -83,6 +88,7 @@ _EXPERIMENTS: dict[str, str] = {
     "figure7": "Fig. 7: SpaceCDN latency CDFs vs AIM baselines",
     "figure8": "Fig. 8: duty-cycled SpaceCDN latency",
     "geoblocking": "§2 claim: home-content geo-blocking prevalence over Starlink",
+    "overload": "Overload sweep: availability/shedding vs offered-load multiplier",
 }
 
 
@@ -111,6 +117,38 @@ def _parse_fractions(text: str) -> tuple[float, ...]:
     return tuple(fractions)
 
 
+def _parse_loads(text: str) -> tuple[float, ...]:
+    """Validate ``--loads`` eagerly, before any experiment work runs."""
+    loads = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            value = float(token)
+        except ValueError:
+            raise FaultConfigError(
+                f"--loads expects comma-separated numbers, got {token!r}"
+            ) from None
+        if value <= 0.0:
+            raise FaultConfigError(
+                f"--loads multipliers must be positive, got {value:g}"
+            )
+        loads.append(value)
+    if not loads:
+        raise FaultConfigError(f"--loads needs at least one value, got {text!r}")
+    return tuple(loads)
+
+
+def _parse_flash_crowd(spec: str | None):
+    """Validate ``--flash-crowd START:END:EXTRA`` eagerly (exit 4 on error)."""
+    if spec is None:
+        return None
+    from repro.experiments import overload
+
+    return overload.parse_flash_crowd(spec)
+
+
 def _run_experiment(name: str, args: argparse.Namespace) -> str:
     from repro.experiments import (  # local import keeps --help fast
         chaos,
@@ -121,6 +159,7 @@ def _run_experiment(name: str, args: argparse.Namespace) -> str:
         figure7,
         figure8,
         geoblocking,
+        overload,
         table1,
     )
 
@@ -167,6 +206,20 @@ def _run_experiment(name: str, args: argparse.Namespace) -> str:
             )
         ),
         "geoblocking": lambda: geoblocking.format_result(geoblocking.run()),
+        "overload": lambda: overload.format_result(
+            overload.run(
+                seed=args.seed,
+                num_requests=args.requests,
+                loads=_parse_loads(args.loads),
+                shell=args.shell,
+                capacity=args.capacity,
+                ground_capacity=args.ground_capacity,
+                deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+                flash_crowd=_parse_flash_crowd(args.flash_crowd),
+                max_attempts=args.max_attempts,
+                batch=args.batch,
+            )
+        ),
     }
     runner: Callable[[], str] | None = modules.get(name)
     if runner is None:
@@ -187,6 +240,7 @@ def _build_plan(name: str, args: argparse.Namespace):
         figure7,
         figure8,
         geoblocking,
+        overload,
         table1,
     )
 
@@ -223,6 +277,18 @@ def _build_plan(name: str, args: argparse.Namespace):
             batch=args.batch,
         ),
         "geoblocking": lambda: geoblocking.build_plan(),
+        "overload": lambda: overload.build_plan(
+            seed=args.seed,
+            num_requests=args.requests,
+            loads=_parse_loads(args.loads),
+            shell=args.shell,
+            capacity=args.capacity,
+            ground_capacity=args.ground_capacity,
+            deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+            flash_crowd=_parse_flash_crowd(args.flash_crowd),
+            max_attempts=args.max_attempts,
+            batch=args.batch,
+        ),
     }
     builder = builders.get(name)
     if builder is None:
@@ -409,9 +475,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--shell",
         choices=("shell1", "small"),
         default="shell1",
-        help="constellation for the chaos sweep (small = 6x8 smoke shell)",
+        help="constellation for the chaos/overload sweeps (small = 6x8 smoke shell)",
     )
     run_cmd.add_argument("--max-attempts", type=int, default=3)
+    run_cmd.add_argument(
+        "--loads",
+        default="0.5,1.0,2.0,4.0",
+        help="comma-separated offered-load multipliers for the overload sweep",
+    )
+    run_cmd.add_argument(
+        "--flash-crowd",
+        default=None,
+        metavar="START:END:EXTRA",
+        help="inject a flash crowd into the overload sweep: EXTRA background "
+        "requests per slot on every satellite between START and END seconds",
+    )
+    run_cmd.add_argument(
+        "--capacity",
+        type=float,
+        default=6.0,
+        help="per-satellite sustainable requests per slot (overload sweep)",
+    )
+    run_cmd.add_argument(
+        "--ground-capacity",
+        type=float,
+        default=40.0,
+        help="ground-tier sustainable requests per slot (overload sweep)",
+    )
+    run_cmd.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=1500.0,
+        help="end-to-end deadline budget per request in the overload sweep; "
+        "0 disables deadline enforcement",
+    )
     run_cmd.add_argument(
         "--batch",
         action=argparse.BooleanOptionalAction,
@@ -559,6 +656,9 @@ def main(argv: list[str] | None = None) -> int:
     except ShardQuarantinedError as exc:
         print(f"error: shard(s) quarantined: {exc}", file=sys.stderr)
         return EXIT_QUARANTINED
+    except OverloadedError as exc:
+        print(f"error: request shed under overload: {exc}", file=sys.stderr)
+        return EXIT_OVERLOADED
     except UnavailableError as exc:
         print(f"error: content unavailable: {exc}", file=sys.stderr)
         return EXIT_UNAVAILABLE

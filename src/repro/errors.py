@@ -46,6 +46,18 @@ class UnavailableError(ContentNotFoundError):
     """
 
 
+class OverloadedError(UnavailableError):
+    """The request was refused by overload protection, not by a fault.
+
+    Raised when admission control sheds the request (every surviving rung
+    was at capacity for the request's priority class) or when the request's
+    end-to-end deadline budget ran out before any rung could complete.
+    Subclass of :class:`UnavailableError` so degraded-mode callers that
+    tolerate unavailability tolerate shedding too, while the CLI reports
+    overload with its own exit code.
+    """
+
+
 class FaultConfigError(ConfigurationError):
     """A fault schedule or fault process was configured inconsistently."""
 

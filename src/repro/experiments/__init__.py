@@ -17,10 +17,12 @@ from repro.experiments import (  # noqa: F401
     figure7,
     figure8,
     geoblocking,
+    overload,
 )
 
 __all__ = [
     "chaos",
+    "overload",
     "common",
     "table1",
     "figure2",

@@ -10,6 +10,7 @@ CSR core, never a graph rebuild.
 """
 
 from repro.faults.processes import (
+    FlashCrowdProcess,
     GroundStationOutage,
     IslCut,
     IslDegradation,
@@ -19,7 +20,7 @@ from repro.faults.processes import (
     SatelliteOutageProcess,
     TransientAttemptLoss,
 )
-from repro.faults.retry import RetryPolicy
+from repro.faults.retry import DeadlineBudget, RetryPolicy
 from repro.faults.schedule import FaultSchedule, FaultView, apply_fault_view
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "FaultView",
     "apply_fault_view",
     "RetryPolicy",
+    "DeadlineBudget",
+    "FlashCrowdProcess",
     "SatelliteOutageProcess",
     "KillList",
     "OutageWindow",

@@ -69,3 +69,50 @@ class RetryPolicy:
     def within_budget(self, rtt_ms: float) -> bool:
         """Whether one attempt's RTT fits the per-attempt budget."""
         return self.attempt_budget_ms is None or rtt_ms <= self.attempt_budget_ms
+
+
+@dataclass
+class DeadlineBudget:
+    """End-to-end deadline for one request, spent as the ladder descends.
+
+    Where :class:`RetryPolicy` bounds each *attempt* with a fresh budget,
+    a deadline budget is shared across every rung the request touches:
+    simulated waits (backoff, wasted attempt time) are charged with
+    :meth:`charge`, and :meth:`allows` gates the next attempt on the
+    *remaining* budget — so a request that burned its deadline timing out
+    on saturated space rungs cannot start a ground fetch it could never
+    finish in time. ``total_ms=None`` disables the deadline (every attempt
+    is allowed, nothing is tracked).
+    """
+
+    total_ms: float | None = None
+    spent_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total_ms is not None and not (
+            math.isfinite(self.total_ms) and self.total_ms > 0
+        ):
+            raise FaultConfigError(
+                f"deadline must be positive and finite, got {self.total_ms}"
+            )
+        if self.spent_ms < 0:
+            raise FaultConfigError(
+                f"spent budget must be non-negative, got {self.spent_ms}"
+            )
+
+    @property
+    def remaining_ms(self) -> float:
+        """Budget left; ``inf`` when no deadline is configured."""
+        if self.total_ms is None:
+            return math.inf
+        return max(0.0, self.total_ms - self.spent_ms)
+
+    def charge(self, wait_ms: float) -> None:
+        """Consume ``wait_ms`` of simulated waiting from the budget."""
+        if wait_ms < 0:
+            raise FaultConfigError(f"negative wait: {wait_ms}")
+        self.spent_ms += wait_ms
+
+    def allows(self, rtt_ms: float) -> bool:
+        """Whether an attempt expected to take ``rtt_ms`` still fits."""
+        return self.total_ms is None or self.spent_ms + rtt_ms <= self.total_ms

@@ -48,11 +48,13 @@ class FaultView:
         )
 
 
-_ROLES = ("satellite", "link", "ground")
+_ROLES = ("satellite", "link", "ground", "load")
 
 
 def _role_of(process) -> str:
     """Classify a fault process by the query surface it implements."""
+    if hasattr(process, "background_load"):
+        return "load"
     if hasattr(process, "cut_links") or hasattr(process, "latency_multiplier"):
         return "link"
     if hasattr(process, "failed_grounds") or hasattr(process, "ground_segment_down"):
@@ -78,6 +80,7 @@ class FaultSchedule:
     satellite_processes: list = field(default_factory=list)
     link_processes: list = field(default_factory=list)
     ground_processes: list = field(default_factory=list)
+    load_processes: list = field(default_factory=list)
     attempt_loss: TransientAttemptLoss | None = None
     wipe_caches_on_outage: bool = True
 
@@ -94,7 +97,15 @@ class FaultSchedule:
 
     @property
     def is_empty(self) -> bool:
-        """Whether no process is registered at all (the healthy schedule)."""
+        """Whether no *fault* process is registered (the healthy schedule).
+
+        Load processes (flash crowds) deliberately do not count: they
+        degrade nothing by themselves — they only matter to a system
+        carrying an :class:`~repro.overload.OverloadModel`, which routes
+        serving through the overloaded path regardless of this flag. A
+        schedule holding only load processes therefore keeps the healthy
+        fast path byte-identical on systems without an overload model.
+        """
         return (
             not self.satellite_processes
             and not self.link_processes
@@ -107,6 +118,23 @@ class FaultSchedule:
         if self.attempt_loss is None:
             return False
         return self.attempt_loss.lost(request_index, attempt)
+
+    def compile_load_at(self, t_s: float, num_satellites: int) -> np.ndarray | None:
+        """Sum every load process's background load at instant ``t_s``.
+
+        Returns a per-satellite array of extra offered requests per slot, or
+        ``None`` when no load process is active — the overload model treats
+        ``None`` as zero background everywhere without allocating.
+        """
+        if t_s < 0:
+            raise FaultConfigError(f"negative time: {t_s}")
+        total: np.ndarray | None = None
+        for process in self.load_processes:
+            load = process.background_load(t_s, num_satellites)
+            if load is None:
+                continue
+            total = load.copy() if total is None else total + load
+        return total
 
     def compile_at(self, t_s: float, num_links: int) -> FaultView:
         """Union every process into the fault state at instant ``t_s``."""

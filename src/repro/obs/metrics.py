@@ -25,6 +25,13 @@ DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
 )
 """Upper bounds (ms) of the default RTT histogram; +Inf is implicit."""
 
+OVERLOAD_QUEUE_BUCKETS_MS: tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+)
+"""Upper bounds (ms) of the queueing-delay histogram: finer at the low end
+than the RTT buckets, since M/M/1 inflation is sub-millisecond until
+utilisation approaches the knee."""
+
 
 def _check_labels(labels: Labels) -> Labels:
     for pair in labels:

@@ -52,6 +52,10 @@ def summarize_trace(spans: Iterable[dict]) -> str:
     serve_fallbacks: dict[str, int] = {}
     cohort_served: dict[str, int] = {}
     unavailable = 0
+    shed = 0
+    shed_by: dict[tuple[str, str], int] = {}
+    breaker_state: dict[object, str] = {}
+    breaker_transitions: dict[tuple[str, str], int] = {}
     requests = 0
     attempt_counts: dict[str, dict[str, int]] = {}
     attempt_contributions: dict[str, list[float]] = {}
@@ -63,6 +67,12 @@ def summarize_trace(spans: Iterable[dict]) -> str:
             if span.get("outcome") == "unavailable":
                 unavailable += 1
                 continue
+            if span.get("outcome") == "shed":
+                shed += 1
+                key = (str(span.get("priority", "?")),
+                       str(span.get("fallback_reason", "?")))
+                shed_by[key] = shed_by.get(key, 0) + 1
+                continue
             tier = span.get("source", "?")
             serve_rtts.setdefault(tier, []).append(float(span.get("rtt_ms", 0.0)))
             if span.get("fallback_reason") is not None:
@@ -70,6 +80,17 @@ def summarize_trace(spans: Iterable[dict]) -> str:
         elif kind == "serve_cohort":
             requests += int(span.get("size", 0))
             unavailable += int(span.get("unavailable", 0))
+            shed += int(span.get("shed", 0))
+        elif kind == "shed":
+            key = (str(span.get("priority", "?")), str(span.get("reason", "?")))
+            shed_by[key] = shed_by.get(key, 0) + int(span.get("count", 0))
+        elif kind == "breaker":
+            old = str(span.get("from_state", "?"))
+            new = str(span.get("to_state", "?"))
+            breaker_state[span.get("target")] = new
+            breaker_transitions[(old, new)] = (
+                breaker_transitions.get((old, new), 0) + 1
+            )
         elif kind == "rung":
             tier = span.get("tier", "?")
             outcome = span.get("outcome", "?")
@@ -112,6 +133,10 @@ def summarize_trace(spans: Iterable[dict]) -> str:
             ("(unavailable)", unavailable, f"{unavailable / requests:.1%}",
              0, "n/a", "n/a")
         )
+    if shed:
+        serve_rows.append(
+            ("(shed)", shed, f"{shed / requests:.1%}", 0, "n/a", "n/a")
+        )
     serve_table = format_table(
         ("tier", "served", "share", "fallback", "p50 RTT ms", "p99 RTT ms"),
         serve_rows,
@@ -129,19 +154,75 @@ def summarize_trace(spans: Iterable[dict]) -> str:
                 outcomes.get("transient-loss", 0),
                 outcomes.get("attempt-timeout", 0)
                 + outcomes.get("ground-timeout", 0),
+                outcomes.get("breaker-open", 0)
+                + outcomes.get("admission-reject", 0)
+                + outcomes.get("deadline-exhausted", 0),
                 _fmt_ms(_quantile(contributions, 0.5)),
             )
         )
     attempt_table = format_table(
-        ("tier", "attempts", "served", "lost", "timed out", "p50 contrib ms"),
+        ("tier", "attempts", "served", "lost", "timed out", "refused",
+         "p50 contrib ms"),
         attempt_rows,
     )
 
-    return (
-        f"{requests} requests ({unavailable} unavailable)\n\n"
+    outcome_note = f"{unavailable} unavailable"
+    if shed:
+        outcome_note += f", {shed} shed"
+    report = (
+        f"{requests} requests ({outcome_note})\n\n"
         f"Per-tier serving outcomes:\n{serve_table}\n\n"
         f"Per-tier ladder attempts:\n{attempt_table}"
     )
+    overload_section = _render_overload(
+        shed, shed_by, breaker_state, breaker_transitions
+    )
+    if overload_section:
+        report += f"\n\n{overload_section}"
+    return report
+
+
+def _render_overload(
+    shed: int,
+    shed_by: dict[tuple[str, str], int],
+    breaker_state: dict[object, str],
+    breaker_transitions: dict[tuple[str, str], int],
+) -> str:
+    """The overload-protection section; empty when the trace shows none.
+
+    Everything here reconciles exactly with the metrics file of the same
+    run: the shed rows mirror ``repro_overload_shed_total{class,reason}``
+    and the state counts mirror the final ``repro_breaker_state{state}``
+    gauges (both are driven by the same serve-path events).
+    """
+    if not shed and not breaker_state:
+        return ""
+    lines = ["Overload protection:"]
+    if shed_by:
+        shed_table = format_table(
+            ("class", "reason", "shed"),
+            [(cls, reason, count)
+             for (cls, reason), count in sorted(shed_by.items())],
+        )
+        lines.append(shed_table)
+    elif shed:
+        lines.append(f"{shed} requests shed (no per-class breakdown in trace)")
+    if breaker_state:
+        states: dict[str, int] = {}
+        for state in breaker_state.values():
+            states[state] = states.get(state, 0) + 1
+        gauge = ", ".join(
+            f"{states.get(s, 0)} {s}" for s in ("closed", "open", "half-open")
+        )
+        flips = ", ".join(
+            f"{old}->{new}: {count}"
+            for (old, new), count in sorted(breaker_transitions.items())
+        )
+        lines.append(
+            f"circuit breakers at end of trace: {gauge} "
+            f"({sum(breaker_transitions.values())} transitions: {flips})"
+        )
+    return "\n".join(lines)
 
 
 def summarize_trace_file(path: str | Path) -> str:

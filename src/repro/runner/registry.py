@@ -62,6 +62,7 @@ for _name in (
     "figure7",
     "figure8",
     "geoblocking",
+    "overload",
     "table1",
 ):
     register_plan_builder(_name, _module_loader(f"repro.experiments.{_name}"))

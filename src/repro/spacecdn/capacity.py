@@ -91,6 +91,26 @@ class ThermalModel:
         )
         return -self.time_constant_s * math.log(ratio)
 
+    def sustainable_requests_per_slot(
+        self, peak_requests_per_slot: float, slot_s: float = 600.0
+    ) -> int:
+        """Serving capacity one duty slot can sustain without overheating.
+
+        A satellite that could serve ``peak_requests_per_slot`` requests if
+        it ran its payload for the whole slot can only sustain the
+        :meth:`max_sustainable_duty_fraction` share of them indefinitely —
+        the quantity the overload model's per-satellite admission limits
+        are derived from. Always at least 1: a satellite that is in the
+        serving rotation at all can answer *something* per slot.
+        """
+        if peak_requests_per_slot <= 0:
+            raise ConfigurationError(
+                f"peak requests per slot must be positive, got "
+                f"{peak_requests_per_slot}"
+            )
+        fraction = self.max_sustainable_duty_fraction(slot_s)
+        return max(1, int(round(peak_requests_per_slot * fraction)))
+
     def max_sustainable_duty_fraction(self, slot_s: float = 600.0) -> float:
         """Largest duty fraction that keeps steady-state peaks under the limit.
 

@@ -23,10 +23,12 @@ import numpy as np
 from repro.cdn.cache import Cache, HoldersIndex, LruCache
 from repro.cdn.content import Catalog
 from repro.constants import CDN_SERVER_THINK_TIME_MS, MIN_ELEVATION_USER_DEG
-from repro.errors import ConfigurationError, UnavailableError
+from repro.errors import ConfigurationError, OverloadedError, UnavailableError
 from repro.faults import FaultSchedule, FaultView, RetryPolicy, apply_fault_view
 from repro.geo.coordinates import GeoPoint
+from repro.obs.metrics import OVERLOAD_QUEUE_BUCKETS_MS
 from repro.obs.recorder import get_recorder
+from repro.overload import GROUND_TARGET, OverloadModel
 from repro.orbits.walker import Constellation
 from repro.spacecdn.lookup import (
     LookupSource,
@@ -59,7 +61,9 @@ class ServedRequest:
     1 on the healthy path); ``fallback_reason`` explains why the request was
     not served by its preferred rung (``None`` when it was): one of
     ``"attempt-timeout"``, ``"transient-loss"``, ``"ground-timeout"``,
-    ``"no-space-replica"``, ``"space-exhausted"``.
+    ``"no-space-replica"``, ``"space-exhausted"``. ``priority`` is the
+    request's admission class on the overloaded serve path (``None``
+    everywhere else).
     """
 
     object_id: str
@@ -70,6 +74,7 @@ class ServedRequest:
     rtt_ms: float
     attempts: int = 1
     fallback_reason: str | None = None
+    priority: int | None = None
 
 
 @dataclass
@@ -88,6 +93,12 @@ class SystemStats:
     unavailable: int = 0
     """Requests that exhausted the fallback ladder and raised
     :class:`~repro.errors.UnavailableError`."""
+    shed: int = 0
+    """Requests refused by overload protection (admission, breakers, or a
+    spent deadline) and raised as :class:`~repro.errors.OverloadedError` —
+    disjoint from ``unavailable``, which counts fault-path exhaustion."""
+    deadline_exhausted: int = 0
+    """The subset of ``shed`` whose end-to-end deadline budget ran out."""
     rtt_samples_ms: list[float] = field(default_factory=list)
 
     @property
@@ -98,12 +109,21 @@ class SystemStats:
             + self.isl_hits
             + self.ground_fetches
             + self.unavailable
+            + self.shed
         )
 
     @property
     def served(self) -> int:
         """Requests that completed with content delivered."""
-        return self.requests - self.unavailable
+        return self.requests - self.unavailable - self.shed
+
+    @property
+    def shed_fraction(self) -> float | None:
+        """Fraction of requests shed by overload protection; ``None`` before
+        any request (same empty-evidence convention as ``availability``)."""
+        if self.requests == 0:
+            return None
+        return self.shed / self.requests
 
     @property
     def availability(self) -> float | None:
@@ -146,6 +166,12 @@ class SpaceCdnSystem:
             slot into the CSR core's node/link masks.
         retry_policy: bounded attempts, per-attempt RTT budget, and
             simulated exponential backoff for the degraded path.
+        overload: per-satellite capacity, admission control, circuit
+            breakers, and deadline budgets
+            (:class:`~repro.overload.OverloadModel`). ``None`` (the
+            default) leaves every serve path byte-for-byte unchanged; set,
+            every request runs the overloaded walk — which also honours
+            the fault schedule, so faults and load compose.
     """
 
     constellation: Constellation
@@ -157,6 +183,7 @@ class SpaceCdnSystem:
     min_elevation_deg: float = MIN_ELEVATION_USER_DEG
     fault_schedule: FaultSchedule | None = None
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    overload: OverloadModel | None = None
 
     stats: SystemStats = field(default_factory=SystemStats)
     _caches: dict[int, Cache] = field(default_factory=dict, repr=False)
@@ -303,9 +330,29 @@ class SpaceCdnSystem:
         cache.clear()
         return len(wiped)
 
+    def _overload_fault_state(
+        self, snapshot: SnapshotGraph
+    ) -> tuple[FaultView, SnapshotGraph]:
+        """The fault state the overloaded path runs over.
+
+        With a real fault schedule this is the usual compiled slot state;
+        without one (or with a load-only schedule) it is a clean view over
+        the healthy snapshot — overload protection alone degrades no
+        topology, it only meters admission onto it.
+        """
+        if self.fault_schedule is None or self.fault_schedule.is_empty:
+            return FaultView(t_s=snapshot.t_s), snapshot
+        return self._fault_state_at(snapshot)
+
     # -- the serve path -------------------------------------------------------
 
-    def serve(self, user: GeoPoint, object_id: str, t_s: float) -> ServedRequest:
+    def serve(
+        self,
+        user: GeoPoint,
+        object_id: str,
+        t_s: float,
+        priority: int | None = None,
+    ) -> ServedRequest:
         """Serve one request at simulated time ``t_s`` from ``user``.
 
         Resolution order (paper Fig. 6): access satellite's cache, nearest
@@ -318,9 +365,27 @@ class SpaceCdnSystem:
         with ``retry_policy`` bounding attempts and charging simulated
         backoff, and :class:`~repro.errors.UnavailableError` raised when no
         serving path survives.
+
+        With an ``overload`` model the request runs the overloaded walk
+        (which composes with any fault schedule): admission control per
+        priority class, circuit breakers over the ladder's rungs, queueing
+        delay added as utilisation rises, and the deadline budget bounding
+        the whole walk. ``priority`` overrides the model's seeded class
+        assignment (and is only meaningful with a model).
+        :class:`~repro.errors.OverloadedError` marks requests refused by
+        protection rather than faults.
         """
         self.catalog.get(object_id)  # validate early
         snapshot = self.snapshot_at(t_s)
+        if self.overload is not None:
+            view, degraded = self._overload_fault_state(snapshot)
+            return self._serve_overloaded(
+                user, object_id, t_s, snapshot, view, degraded, priority
+            )
+        if priority is not None:
+            raise ConfigurationError(
+                "request priorities require an overload model"
+            )
         if self.fault_schedule is None or self.fault_schedule.is_empty:
             return self._serve_healthy(user, object_id, t_s, snapshot)
         view, degraded = self._fault_state_at(snapshot)
@@ -340,6 +405,7 @@ class SpaceCdnSystem:
         fallback_reason: str | None,
         attempt_log: list[dict] | None,
         view: FaultView | None,
+        priority: int | None = None,
     ) -> None:
         """One ``serve`` root span plus its per-attempt children.
 
@@ -358,6 +424,8 @@ class SpaceCdnSystem:
             attempts=attempts,
             fallback_reason=fallback_reason,
         )
+        if priority is not None:
+            span.set(priority=priority)
         if view is not None:
             span.set(
                 faults_failed_satellites=len(view.failed_satellites),
@@ -708,6 +776,330 @@ class SpaceCdnSystem:
             f"{attempts} attempt(s)"
         )
 
+    def _serve_overloaded(
+        self,
+        user: GeoPoint,
+        object_id: str,
+        t_s: float,
+        snapshot: SnapshotGraph,
+        view: FaultView,
+        degraded: SnapshotGraph,
+        priority: int | None = None,
+    ) -> ServedRequest:
+        """One request through the overload-protected fallback ladder."""
+        from repro.orbits.visibility import visible_satellites
+
+        visible = visible_satellites(
+            self.constellation, user, snapshot.t_s, self.min_elevation_deg
+        )
+        live_visible = [s for s in visible if degraded.has_satellite(s.index)]
+        return self._serve_overloaded_prepared(
+            user, object_id, t_s, live_visible, view, degraded,
+            priority=priority,
+        )
+
+    def _serve_overloaded_prepared(
+        self,
+        user: GeoPoint,
+        object_id: str,
+        t_s: float,
+        live_visible: list,
+        view: FaultView,
+        degraded: SnapshotGraph,
+        rows: tuple | None = None,
+        attempt_counts=None,
+        span: bool = True,
+        priority: int | None = None,
+        shed_log=None,
+    ) -> ServedRequest:
+        """The overload-protected attempt walk over resolved visibility.
+
+        The degraded walk plus the four protections, applied per rung in
+        this order: an open circuit breaker skips the rung *without*
+        consuming a retry attempt (the client never contacts the target);
+        admission control refuses at-capacity targets (a failed attempt:
+        backoff is charged and the breaker records the refusal); transient
+        loss and the per-attempt RTT budget behave exactly as on the
+        degraded path; finally the deadline budget — charged every
+        simulated backoff — must fit the rung's queue-inflated RTT or the
+        walk ends immediately (rungs are cheapest-first, so nothing later
+        could fit either). Served requests pay the M/M/1 queueing delay of
+        their target on top of the propagation RTT.
+
+        Exhaustion raises :class:`~repro.errors.OverloadedError` when
+        protection refused the request (reason ``"deadline"``,
+        ``"admission"`` or ``"breaker-open"``, in that precedence) and
+        plain :class:`~repro.errors.UnavailableError` when only faults did.
+        ``shed_log`` is the batched path's ``Counter[(priority, reason)]``
+        accumulator behind the cohort span's shed children.
+        """
+        model = self.overload
+        policy = self.retry_policy
+        schedule = self.fault_schedule
+        request_index = self._request_counter
+        self._request_counter += 1
+        model.begin_slot(
+            self._snapshot_slot, degraded.t_s, len(self.constellation), schedule
+        )
+        if priority is None:
+            priority = model.priority_of(request_index)
+        else:
+            priority = model.validate_priority(priority)
+        deadline = model.deadline_budget()
+        rec = get_recorder()
+        attempt_log: list[dict] | None = (
+            [] if (rec.enabled and span) else None
+        )
+
+        def _note(tier, satellite, hops, retry_index, outcome, contrib):
+            if attempt_log is not None:
+                attempt_log.append(
+                    {
+                        "tier": tier,
+                        "satellite": satellite,
+                        "hops": hops,
+                        "retry_index": retry_index,
+                        "outcome": outcome,
+                        "rtt_contribution_ms": contrib,
+                    }
+                )
+            if attempt_counts is not None:
+                attempt_counts[(tier, outcome)] += 1
+
+        if not live_visible:
+            self.stats.unavailable += 1
+            if rec.enabled:
+                rec.inc("repro_serve_unavailable_total", (("reason", "no-sky"),))
+                if span:
+                    self._emit_serve_trace(
+                        rec, object_id, t_s, "unavailable", None, None, 0, None,
+                        0, "no-sky", attempt_log, view, priority=priority,
+                    )
+            raise UnavailableError(
+                f"no live satellite visible from ({user.lat_deg:.1f}, "
+                f"{user.lon_deg:.1f}) under the active fault schedule"
+            )
+        access = live_visible[0]
+        ladder = self._fallback_ladder(degraded, live_visible, object_id, rows)
+
+        attempts = 0
+        backoff_ms = 0.0
+        reason: str | None = None
+        admission_refused = False
+        breaker_skipped = False
+        deadline_hit = False
+
+        def _failed_attempt(breaker) -> float:
+            """Backoff, deadline charge, and breaker bookkeeping: one step."""
+            step_ms = policy.backoff_ms(attempts)
+            deadline.charge(step_ms)
+            if breaker is not None:
+                breaker.record_failure(t_s)
+            return step_ms
+
+        for source, satellite, hops, rtt in ladder:
+            if attempts >= policy.max_attempts or deadline_hit:
+                break
+            tier = TIER_OF_SOURCE[source]
+            breaker = model.breaker_for(satellite)
+            if breaker is not None and not breaker.allow(t_s):
+                breaker_skipped = True
+                _note(tier, satellite, hops, attempts, "breaker-open", 0.0)
+                continue
+            attempts += 1
+            if not model.admit(satellite, priority):
+                admission_refused = True
+                step_ms = _failed_attempt(breaker)
+                backoff_ms += step_ms
+                _note(tier, satellite, hops, attempts, "admission-reject", step_ms)
+                if rec.enabled:
+                    rec.inc(
+                        "repro_overload_rejections_total",
+                        (("class", str(priority)),),
+                    )
+                continue
+            if schedule is not None and schedule.attempt_lost(
+                request_index, attempts
+            ):
+                reason = "transient-loss"
+                self.stats.timeouts += 1
+                step_ms = _failed_attempt(breaker)
+                backoff_ms += step_ms
+                _note(tier, satellite, hops, attempts, "transient-loss", step_ms)
+                continue
+            queue_ms = model.queue_delay_ms(satellite)
+            rung_rtt = rtt + queue_ms
+            if not policy.within_budget(rung_rtt):
+                reason = "attempt-timeout"
+                self.stats.timeouts += 1
+                step_ms = _failed_attempt(breaker)
+                backoff_ms += step_ms
+                _note(tier, satellite, hops, attempts, "attempt-timeout", step_ms)
+                continue
+            if not deadline.allows(rung_rtt):
+                deadline_hit = True
+                _note(tier, satellite, hops, attempts, "deadline-exhausted", 0.0)
+                break
+            self.cache_of(satellite).get(object_id)  # count the hit
+            if breaker is not None:
+                breaker.record_success(t_s)
+            model.note_served(satellite)
+            self.stats.retries += attempts - 1
+            _note(tier, satellite, hops, attempts, "served", rung_rtt)
+            if rec.enabled:
+                rec.inc(
+                    "repro_overload_admitted_total", (("class", str(priority)),)
+                )
+                rec.observe(
+                    "repro_overload_queue_delay_ms",
+                    queue_ms,
+                    buckets=OVERLOAD_QUEUE_BUCKETS_MS,
+                )
+            return self._record(
+                object_id,
+                t_s,
+                source,
+                satellite,
+                hops,
+                rung_rtt + backoff_ms,
+                attempts=attempts,
+                fallback_reason=reason,
+                attempt_log=attempt_log,
+                view=view,
+                span=span,
+                priority=priority,
+            )
+
+        # Ground rung: retried until the attempt budget runs out.
+        ground_reason = "no-space-replica" if not ladder else "space-exhausted"
+        ground_breaker = model.breaker_for(GROUND_TARGET)
+        while (
+            not deadline_hit
+            and not view.ground_segment_down
+            and attempts < policy.max_attempts
+        ):
+            if ground_breaker is not None and not ground_breaker.allow(t_s):
+                breaker_skipped = True
+                _note("ground", None, 0, attempts, "breaker-open", 0.0)
+                break  # an open breaker stays open for this whole walk
+            attempts += 1
+            if not model.admit(None, priority):
+                admission_refused = True
+                step_ms = _failed_attempt(ground_breaker)
+                backoff_ms += step_ms
+                _note("ground", None, 0, attempts, "admission-reject", step_ms)
+                if rec.enabled:
+                    rec.inc(
+                        "repro_overload_rejections_total",
+                        (("class", str(priority)),),
+                    )
+                continue
+            if schedule is not None and schedule.attempt_lost(
+                request_index, attempts
+            ):
+                reason = "transient-loss"
+                self.stats.timeouts += 1
+                step_ms = _failed_attempt(ground_breaker)
+                backoff_ms += step_ms
+                _note("ground", None, 0, attempts, "transient-loss", step_ms)
+                continue
+            queue_ms = model.queue_delay_ms(None)
+            rung_rtt = self.ground_rtt_ms + queue_ms
+            if not policy.within_budget(rung_rtt):
+                reason = "ground-timeout"
+                self.stats.timeouts += 1
+                step_ms = _failed_attempt(ground_breaker)
+                backoff_ms += step_ms
+                _note("ground", None, 0, attempts, "ground-timeout", step_ms)
+                continue
+            if not deadline.allows(rung_rtt):
+                deadline_hit = True
+                _note("ground", None, 0, attempts, "deadline-exhausted", 0.0)
+                break
+            self._store(access.index, object_id)
+            if ground_breaker is not None:
+                ground_breaker.record_success(t_s)
+            model.note_served(None)
+            self.stats.retries += attempts - 1
+            _note("ground", None, 0, attempts, "served", rung_rtt)
+            if rec.enabled:
+                rec.inc(
+                    "repro_overload_admitted_total", (("class", str(priority)),)
+                )
+                rec.observe(
+                    "repro_overload_queue_delay_ms",
+                    queue_ms,
+                    buckets=OVERLOAD_QUEUE_BUCKETS_MS,
+                )
+            return self._record(
+                object_id,
+                t_s,
+                LookupSource.GROUND,
+                None,
+                0,
+                rung_rtt + backoff_ms,
+                attempts=attempts,
+                fallback_reason=reason if reason is not None else ground_reason,
+                attempt_log=attempt_log,
+                view=view,
+                span=span,
+                priority=priority,
+            )
+
+        self.stats.retries += max(0, attempts - 1)
+        if deadline_hit or admission_refused or breaker_skipped:
+            shed_reason = (
+                "deadline"
+                if deadline_hit
+                else "admission" if admission_refused else "breaker-open"
+            )
+            self.stats.shed += 1
+            if deadline_hit:
+                self.stats.deadline_exhausted += 1
+            if shed_log is not None:
+                shed_log[(priority, shed_reason)] += 1
+            if rec.enabled:
+                rec.inc(
+                    "repro_overload_shed_total",
+                    (("class", str(priority)), ("reason", shed_reason)),
+                )
+                if span:
+                    self._emit_serve_trace(
+                        rec, object_id, t_s, "shed", None, None, 0, None,
+                        attempts, shed_reason, attempt_log, view,
+                        priority=priority,
+                    )
+            error = OverloadedError(
+                f"object {object_id!r}: shed by overload protection "
+                f"({shed_reason}, class {priority}) after {attempts} attempt(s)"
+            )
+            error.reason = shed_reason
+            error.priority_class = priority
+            raise error
+        self.stats.unavailable += 1
+        exhausted_reason = (
+            "ground-down" if view.ground_segment_down else "budget-exhausted"
+        )
+        if rec.enabled:
+            rec.inc(
+                "repro_serve_unavailable_total", (("reason", exhausted_reason),)
+            )
+            if span:
+                self._emit_serve_trace(
+                    rec, object_id, t_s, "unavailable", None, None, 0, None,
+                    attempts, exhausted_reason, attempt_log, view,
+                    priority=priority,
+                )
+        if view.ground_segment_down:
+            raise UnavailableError(
+                f"object {object_id!r}: fallback ladder exhausted after "
+                f"{attempts} attempt(s) and the ground segment is down"
+            )
+        raise UnavailableError(
+            f"object {object_id!r}: retry budget exhausted after "
+            f"{attempts} attempt(s)"
+        )
+
     def serve_request(self, request: Request) -> ServedRequest:
         """Serve one workload :class:`~repro.workloads.requests.Request`."""
         return self.serve(request.city.location, request.object_id, request.t_s)
@@ -720,6 +1112,7 @@ class SpaceCdnSystem:
         object_ids: Sequence[str],
         t_s: float | Sequence[float],
         continue_on_unavailable: bool = False,
+        priorities: Sequence[int] | None = None,
     ) -> list[ServedRequest | None]:
         """Serve a whole cohort of requests sharing one snapshot epoch.
 
@@ -752,6 +1145,16 @@ class SpaceCdnSystem:
         trace span carrying per-rung attempt counts (instead of one span
         per request), while per-request counters and the RTT histogram
         stay identical to scalar serving.
+
+        With an ``overload`` model the cohort runs the overloaded walk per
+        request (element-wise identical to scalar :meth:`serve`, shed
+        requests included); ``continue_on_unavailable`` keeps shed
+        requests as ``None`` slots too, since
+        :class:`~repro.errors.OverloadedError` is an
+        :class:`~repro.errors.UnavailableError`. ``priorities`` optionally
+        fixes each request's admission class (requires the model; default
+        is the model's seeded assignment). The cohort span gains a
+        ``shed`` attribute and per-class ``shed`` children.
         """
         num = len(users)
         if len(object_ids) != num:
@@ -778,11 +1181,24 @@ class SpaceCdnSystem:
                     "cohort spans multiple snapshot slots; split it at "
                     "snapshot boundaries (run(batch=True) does this)"
                 )
+        overloaded_mode = self.overload is not None
         degraded_mode = (
             self.fault_schedule is not None and not self.fault_schedule.is_empty
         )
-        if degraded_mode:
+        if overloaded_mode:
+            view, degraded = self._overload_fault_state(snapshot)
+        elif degraded_mode:
             view, degraded = self._fault_state_at(snapshot)
+        if priorities is not None:
+            if not overloaded_mode:
+                raise ConfigurationError(
+                    "request priorities require an overload model"
+                )
+            if len(priorities) != num:
+                raise ConfigurationError(
+                    f"cohort mismatch: {num} users but "
+                    f"{len(priorities)} priorities"
+                )
 
         from repro.orbits.visibility import visible_satellites_batch
 
@@ -802,9 +1218,18 @@ class SpaceCdnSystem:
 
         rec = get_recorder()
         counts: Counter | None = Counter() if rec.enabled else None
+        shed_counts: Counter | None = (
+            Counter() if (rec.enabled and overloaded_mode) else None
+        )
         results: list[ServedRequest | None] = []
         try:
-            if degraded_mode:
+            if overloaded_mode:
+                self._serve_batch_overloaded(
+                    users, object_ids, times, u_idx, vb, view, degraded,
+                    counts, continue_on_unavailable, results, priorities,
+                    shed_counts,
+                )
+            elif degraded_mode:
                 self._serve_batch_degraded(
                     users, object_ids, times, u_idx, vb, view, degraded,
                     counts, continue_on_unavailable, results,
@@ -816,15 +1241,32 @@ class SpaceCdnSystem:
                 )
         finally:
             if rec.enabled:
-                unavailable = sum(1 for r in results if r is None)
+                none_slots = sum(1 for r in results if r is None)
+                shed_total = (
+                    sum(shed_counts.values()) if shed_counts is not None else 0
+                )
+                mode = (
+                    "overloaded"
+                    if overloaded_mode
+                    else "degraded" if degraded_mode else "healthy"
+                )
                 span = rec.open_span(
                     "serve_cohort",
                     t_s=times[0],
                     size=num,
-                    served=len(results) - unavailable,
-                    unavailable=unavailable,
-                    mode="degraded" if degraded_mode else "healthy",
+                    served=len(results) - none_slots,
+                    unavailable=max(0, none_slots - shed_total),
+                    mode=mode,
                 )
+                if shed_counts is not None:
+                    span.set(shed=shed_total)
+                    for (cls, shed_reason), count in sorted(shed_counts.items()):
+                        span.child(
+                            "shed",
+                            priority=cls,
+                            reason=shed_reason,
+                            count=count,
+                        )
                 for (tier, outcome), count in sorted(counts.items()):
                     span.child("rung", tier=tier, outcome=outcome, count=count)
                     rec.inc(
@@ -1112,6 +1554,70 @@ class SpaceCdnSystem:
                     raise
                 results.append(None)
 
+    def _serve_batch_overloaded(
+        self,
+        users: Sequence[GeoPoint],
+        object_ids: Sequence[str],
+        times: list[float],
+        u_idx: np.ndarray,
+        vb,
+        view: FaultView,
+        degraded: SnapshotGraph,
+        counts: Counter | None,
+        continue_on_unavailable: bool,
+        results: list,
+        priorities: Sequence[int] | None,
+        shed_counts: Counter | None,
+    ) -> None:
+        """The overloaded cohort: shared masked routing, per-request walks.
+
+        Structurally the degraded cohort — visibility and the access
+        satellites' routing rows are hoisted to one pass each — but every
+        request runs the overload-protected walk. The walk is inherently
+        sequential (admission counters fill and breakers trip in request
+        order), which is exactly why running it over precomputed rows
+        stays element-wise identical to scalar serving. Shed requests
+        (:class:`~repro.errors.OverloadedError` is an
+        :class:`~repro.errors.UnavailableError`) become ``None`` slots
+        under ``continue_on_unavailable``.
+        """
+        live_of_u = [
+            [
+                sat
+                for sat in vb.visible_list(i)
+                if degraded.has_satellite(sat.index)
+            ]
+            for i in range(vb.num_points)
+        ]
+        accs = sorted({lv[0].index for lv in live_of_u if lv})
+        row_of_acc: dict[int, int] = {}
+        if accs:
+            hops_m, lats_m = fastcore.single_source_batch(
+                degraded.core, accs, degraded.active_mask
+            )
+            row_of_acc = {a: i for i, a in enumerate(accs)}
+        for r in range(len(object_ids)):
+            oid = object_ids[r]
+            self.catalog.get(oid)  # validate early, in request order
+            lv = live_of_u[int(u_idx[r])]
+            rows = None
+            if lv:
+                i = row_of_acc[lv[0].index]
+                rows = (hops_m[i], lats_m[i])
+            try:
+                results.append(
+                    self._serve_overloaded_prepared(
+                        users[r], oid, times[r], lv, view, degraded,
+                        rows=rows, attempt_counts=counts, span=False,
+                        priority=None if priorities is None else priorities[r],
+                        shed_log=shed_counts,
+                    )
+                )
+            except UnavailableError:
+                if not continue_on_unavailable:
+                    raise
+                results.append(None)
+
     def run(
         self,
         requests: list[Request],
@@ -1204,6 +1710,7 @@ class SpaceCdnSystem:
         attempt_log: list[dict] | None = None,
         view: FaultView | None = None,
         span: bool = True,
+        priority: int | None = None,
     ) -> ServedRequest:
         if source is LookupSource.ACCESS_SATELLITE:
             self.stats.access_hits += 1
@@ -1232,6 +1739,7 @@ class SpaceCdnSystem:
                 self._emit_serve_trace(
                     rec, object_id, t_s, "served", source, satellite, hops,
                     rtt_ms, attempts, fallback_reason, attempt_log, view,
+                    priority=priority,
                 )
         return ServedRequest(
             object_id=object_id,
@@ -1242,4 +1750,5 @@ class SpaceCdnSystem:
             rtt_ms=rtt_ms,
             attempts=attempts,
             fallback_reason=fallback_reason,
+            priority=priority,
         )
