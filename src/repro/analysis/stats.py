@@ -1,7 +1,9 @@
 """Distribution statistics used by every experiment.
 
 The paper reports medians, CDFs and per-country deltas; these helpers keep
-that arithmetic in one tested place.
+that arithmetic in one tested place. The quantile arithmetic itself lives
+in :mod:`repro.analysis.quantiles` (shared with the obs layer); this
+module adds the sample-validation and reporting shapes around it.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.quantiles import sample_quantile, sample_quantiles
 from repro.errors import ConfigurationError
 
 
@@ -33,13 +36,14 @@ def summarize(samples: list[float] | np.ndarray) -> DistributionSummary:
     data = np.asarray(samples, dtype=float)
     if data.size == 0:
         raise ConfigurationError("cannot summarize an empty sample")
+    p25, median, p75, p95 = sample_quantiles(data, (0.25, 0.50, 0.75, 0.95))
     return DistributionSummary(
         count=int(data.size),
         minimum=float(data.min()),
-        p25=float(np.percentile(data, 25)),
-        median=float(np.percentile(data, 50)),
-        p75=float(np.percentile(data, 75)),
-        p95=float(np.percentile(data, 95)),
+        p25=p25,
+        median=median,
+        p75=p75,
+        p95=p95,
         maximum=float(data.max()),
         mean=float(data.mean()),
     )
@@ -49,7 +53,7 @@ def median_or_nan(samples: list[float]) -> float:
     """Median of a sample, or NaN when the sample is empty."""
     if not samples:
         return math.nan
-    return float(np.median(np.asarray(samples, dtype=float)))
+    return sample_quantile(samples, 0.5)
 
 
 @dataclass
@@ -75,14 +79,15 @@ class Cdf:
         """The q-quantile, q in [0, 1]."""
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
-        return float(np.quantile(self.sorted_values, q))
+        return sample_quantile(self.sorted_values, q)
 
     def points(self, num: int = 50) -> list[tuple[float, float]]:
         """``num`` evenly spaced (value, cumulative-probability) points."""
         if num < 2:
             raise ConfigurationError("need at least two points")
         qs = np.linspace(0.0, 1.0, num)
-        return [(float(np.quantile(self.sorted_values, q)), float(q)) for q in qs]
+        values = sample_quantiles(self.sorted_values, qs)
+        return [(value, float(q)) for value, q in zip(values, qs)]
 
     def __len__(self) -> int:
         return len(self.sorted_values)

@@ -10,6 +10,9 @@ Usage::
     python -m repro obs summarize runs/chaos/obs-trace.jsonl
     python -m repro obs events runs/chaos/events.jsonl
     python -m repro obs diff BENCH_old.json BENCH_new.json --threshold 20
+    python -m repro obs timeline runs/chaos/obs-timeseries.json
+    python -m repro obs slo runs/chaos/obs-timeseries.json \
+        --slo "availability >= 99% over 5 epochs" --slo "p99 <= 300ms"
     python -m repro aim --seed 7 --tests-per-city 30 --format csv --out aim.csv
 
 Without ``--out-dir`` an experiment runs monolithically in memory, exactly
@@ -21,11 +24,14 @@ worker crashes, hangs, and kills; ``--jobs`` never enters the manifest,
 so a run started wide can resume serially (and vice versa) byte-for-byte.
 
 Observability is off by default and the default path is byte-identical to
-an uninstrumented run. ``--obs`` (or either of ``--metrics-out`` /
-``--trace-out``) installs a live :mod:`repro.obs` recorder for the run and
-flushes a Prometheus metrics file plus a JSONL serve-path trace on exit —
-including interrupted exits, through the same atomic-write path as the
-checkpoints, so the artifacts are never truncated.
+an uninstrumented run. ``--obs`` (or any of ``--metrics-out`` /
+``--trace-out`` / ``--timeseries-out``) installs a live :mod:`repro.obs`
+recorder for the run and flushes a Prometheus metrics file, a JSONL
+serve-path trace, and a windowed time-series document on exit — including
+interrupted exits, through the same atomic-write path as the checkpoints,
+so the artifacts are never truncated. ``repro obs timeline`` renders the
+time-series document as an ASCII sparkline dashboard; ``repro obs slo``
+evaluates declarative SLOs over it with error-budget burn rates.
 
 Exit codes: 0 success; 2 generic error; 3 content unavailable; 4 bad
 fault/experiment configuration; 5 interrupted (checkpoints flushed);
@@ -33,7 +39,8 @@ fault/experiment configuration; 5 interrupted (checkpoints flushed);
 8 shard(s) quarantined by the parallel executor (rest of the run
 completed; see ``quarantine.json``); 9 benchmark regression detected by
 ``repro obs diff``; 10 a request was shed by overload protection
-(admission control, an open circuit breaker, or a deadline budget).
+(admission control, an open circuit breaker, or a deadline budget);
+11 at least one SLO breached in ``repro obs slo``.
 """
 
 from __future__ import annotations
@@ -77,6 +84,10 @@ EXIT_REGRESSION = 9
 EXIT_OVERLOADED = 10
 """A request was shed by overload protection: admission control refused
 it, its circuit breaker was open, or its deadline budget ran out."""
+EXIT_SLO_BREACH = 11
+"""``repro obs slo`` found at least one objective breached (the CI SLO
+smoke job keys off this; distinct from exit 2 so a malformed spec or a
+missing artifact can never masquerade as a clean evaluation)."""
 
 _EXPERIMENTS: dict[str, str] = {
     "chaos": "Chaos sweep: availability and latency under injected failures",
@@ -340,7 +351,10 @@ def _run_and_print(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     obs_requested = (
-        args.obs or args.metrics_out is not None or args.trace_out is not None
+        args.obs
+        or args.metrics_out is not None
+        or args.trace_out is not None
+        or args.timeseries_out is not None
     )
     if not obs_requested:
         # Observability fully off: the process-global recorder stays the
@@ -352,9 +366,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     from repro.obs import ObsRecorder, recording
 
-    # --obs writes both artifacts (next to the run with --out-dir, else in
-    # the CWD); a bare --metrics-out / --trace-out writes only what was
-    # asked for, so `--metrics-out m.prom` never drops a trace file in CWD.
+    # --obs writes all three artifacts (next to the run with --out-dir,
+    # else in the CWD); a bare --metrics-out / --trace-out /
+    # --timeseries-out writes only what was asked for, so
+    # `--metrics-out m.prom` never drops a trace file in CWD.
     base = Path(args.out_dir) if args.out_dir is not None else Path(".")
     metrics_path = None
     if args.metrics_out:
@@ -366,6 +381,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         trace_path = Path(args.trace_out)
     elif args.obs:
         trace_path = base / "obs-trace.jsonl"
+    timeseries_path = None
+    if args.timeseries_out:
+        timeseries_path = Path(args.timeseries_out)
+    elif args.obs:
+        timeseries_path = base / "obs-timeseries.json"
     recorder = ObsRecorder()
     try:
         with recording(recorder):
@@ -374,13 +394,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # Runs on every exit — success, SIGINT/--max-shards interruption,
         # deadline — through the same tmp+fsync+rename path as the shard
         # checkpoints: the artifacts are complete or absent, never torn.
-        for path in (metrics_path, trace_path):
+        for path in (metrics_path, trace_path, timeseries_path):
             if path is not None:
                 path.parent.mkdir(parents=True, exist_ok=True)
-        recorder.flush(metrics_path=metrics_path, trace_path=trace_path)
+        recorder.flush(
+            metrics_path=metrics_path,
+            trace_path=trace_path,
+            timeseries_path=timeseries_path,
+        )
         written = [
             f"{kind} -> {path}"
-            for kind, path in (("metrics", metrics_path), ("trace", trace_path))
+            for kind, path in (
+                ("metrics", metrics_path),
+                ("trace", trace_path),
+                ("timeseries", timeseries_path),
+            )
             if path is not None
         ]
         print("obs: " + "; ".join(written), file=sys.stderr)
@@ -431,6 +459,30 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     )
     print(format_diff(diffs))
     return EXIT_REGRESSION if has_regressions(diffs) else 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    from repro.obs import evaluate_slos, parse_slo, read_timeseries, render_slo_report
+
+    doc = read_timeseries(args.timeseries)
+    specs = [parse_slo(text) for text in args.slo]
+    reports = evaluate_slos(doc, specs)
+    print(render_slo_report(reports, float(doc.get("window_s", 0.0))))
+    return EXIT_SLO_BREACH if any(r.breached for r in reports) else 0
+
+
+def _cmd_obs_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        evaluate_slos,
+        parse_slo,
+        read_timeseries,
+        render_timeline,
+    )
+
+    doc = read_timeseries(args.timeseries)
+    reports = evaluate_slos(doc, [parse_slo(text) for text in args.slo])
+    print(render_timeline(doc, reports, width=args.width))
+    return 0
 
 
 def _cmd_aim(args: argparse.Namespace) -> int:
@@ -586,6 +638,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSONL serve-path trace here (implies --obs; default "
         "obs-trace.jsonl, under --out-dir when given)",
     )
+    run_cmd.add_argument(
+        "--timeseries-out",
+        default=None,
+        help="write the windowed time-series JSON here (implies --obs; "
+        "default obs-timeseries.json, under --out-dir when given); feed it "
+        "to `repro obs timeline` / `repro obs slo`",
+    )
     run_cmd.set_defaults(func=_cmd_run)
 
     obs_cmd = sub.add_parser(
@@ -627,6 +686,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--metric healthy.requests_per_min=10",
     )
     diff_cmd.set_defaults(func=_cmd_obs_diff)
+    slo_cmd = obs_sub.add_parser(
+        "slo",
+        help=f"evaluate SLOs with error-budget burn rates over a windowed "
+        f"time series; exit {EXIT_SLO_BREACH} when any objective breaches",
+    )
+    slo_cmd.add_argument(
+        "timeseries", help="path to an obs-timeseries.json file"
+    )
+    slo_cmd.add_argument(
+        "--slo",
+        action="append",
+        required=True,
+        metavar="SPEC",
+        help="an objective (repeatable), e.g. 'availability >= 99%% over "
+        "5 epochs', 'p99 <= 150ms', 'shed_fraction <= 5%%', "
+        "'hit_ratio >= 80%%'",
+    )
+    slo_cmd.set_defaults(func=_cmd_obs_slo)
+    timeline_cmd = obs_sub.add_parser(
+        "timeline",
+        help="render the windowed time series as an ASCII sparkline "
+        "dashboard (one row per metric, optional SLO breach markers)",
+    )
+    timeline_cmd.add_argument(
+        "timeseries", help="path to an obs-timeseries.json file"
+    )
+    timeline_cmd.add_argument(
+        "--slo",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="overlay SLO breach markers (repeatable, same grammar as "
+        "`repro obs slo`)",
+    )
+    timeline_cmd.add_argument(
+        "--width",
+        type=int,
+        default=60,
+        metavar="COLS",
+        help="maximum sparkline columns; denser series mean-pool (default 60)",
+    )
+    timeline_cmd.set_defaults(func=_cmd_obs_timeline)
 
     aim_cmd = sub.add_parser("aim", help="generate and export the synthetic AIM dataset")
     aim_cmd.add_argument("--seed", type=int, default=7)

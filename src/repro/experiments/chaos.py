@@ -18,6 +18,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.analysis.quantiles import sample_quantiles
 from repro.analysis.tables import format_table
 from repro.cdn.content import Catalog, build_catalog
 from repro.constants import CDN_SERVER_THINK_TIME_MS
@@ -116,10 +117,8 @@ def _build_requests(catalog: Catalog, num_requests: int, seed: int):
 
 
 def _quantiles(samples: list[float]) -> tuple[float, float]:
-    if not samples:
-        return float("nan"), float("nan")
-    arr = np.asarray(samples)
-    return float(np.quantile(arr, 0.5)), float(np.quantile(arr, 0.99))
+    p50, p99 = sample_quantiles(samples, (0.5, 0.99))
+    return p50, p99
 
 
 def _dutycycle_median(
@@ -221,6 +220,13 @@ def _sweep_point(
             retry_policy=RetryPolicy(max_attempts=max_attempts),
         )
         system.preload(ctx.preload)
+        if rec.enabled:
+            # Offered load per simulated-time window: the demand side of the
+            # timeline dashboard, recorded before serving so shed/unavailable
+            # windows still show what arrived.
+            labels = (("fraction", f"{fraction:g}"),)
+            for request in ctx.requests:
+                rec.window_inc(request.t_s, "repro_offered_total", labels)
         system.run(ctx.requests, continue_on_unavailable=True, batch=batch)
     stats = system.stats
     if rec.enabled and stats.availability is not None:

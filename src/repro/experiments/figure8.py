@@ -22,6 +22,7 @@ from repro.experiments.common import (
 )
 from repro.geo.coordinates import GeoPoint
 from repro.measurements.aim import TERRESTRIAL
+from repro.obs.recorder import get_recorder
 from repro.runner.shards import ExperimentPlan
 from repro.simulation.sampler import seeded_rng, user_sample_points
 from repro.spacecdn.dutycycle import DutyCycleLatencyModel, DutyCycleScheduler
@@ -92,6 +93,7 @@ def epoch_fraction_samples(
     """One epoch's RTT samples per cache fraction (the sharding unit)."""
     constellation = shell1_constellation()
     snapshot = shell1_snapshot(epoch)
+    rec = get_recorder()
     samples: dict[float, list[float]] = {}
     for fraction in fractions:
         model = DutyCycleLatencyModel(
@@ -112,6 +114,15 @@ def epoch_fraction_samples(
                 float(2.0 * model.one_way_ms(user) + CDN_SERVER_THINK_TIME_MS)
                 for user in users
             ]
+        if rec.enabled:
+            # Windowed by the epoch's simulated instant, so the per-epoch
+            # shards of a --jobs run merge into the same timeline the
+            # monolithic sweep records.
+            labels = (("fraction", f"{fraction:g}"),)
+            for rtt_ms in samples[fraction]:
+                rec.window_observe(
+                    epoch, "repro_figure8_rtt_ms", rtt_ms, labels
+                )
     return samples
 
 

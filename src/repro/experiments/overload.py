@@ -20,6 +20,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.analysis.quantiles import sample_quantiles
 from repro.analysis.tables import format_table
 from repro.cdn.content import Catalog, build_catalog
 from repro.errors import ConfigurationError, FaultConfigError
@@ -142,10 +143,8 @@ def _build_requests(catalog: Catalog, num_requests: int, seed: int):
 
 
 def _quantiles(samples: list[float]) -> tuple[float, float]:
-    if not samples:
-        return float("nan"), float("nan")
-    arr = np.asarray(samples)
-    return float(np.quantile(arr, 0.5)), float(np.quantile(arr, 0.99))
+    p50, p99 = sample_quantiles(samples, (0.5, 0.99))
+    return p50, p99
 
 
 @dataclass(eq=False)
@@ -221,6 +220,12 @@ def _sweep_point(
             ),
         )
         system.preload(ctx.preload)
+        if rec.enabled:
+            # Offered load per simulated-time window: shows the overload
+            # knee (and any flash-crowd burst) on the timeline dashboard.
+            offered_labels = (("load", f"{load:g}"),)
+            for request in requests:
+                rec.window_inc(request.t_s, "repro_offered_total", offered_labels)
         system.run(requests, continue_on_unavailable=True, batch=batch)
     stats = system.stats
     if rec.enabled:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import FaultConfigError
 from repro.faults.processes import TransientAttemptLoss
+from repro.obs.recorder import get_recorder
 from repro.topology.graph import SnapshotGraph
 
 
@@ -134,6 +135,14 @@ class FaultSchedule:
             if load is None:
                 continue
             total = load.copy() if total is None else total + load
+        if total is not None:
+            rec = get_recorder()
+            if rec.enabled:
+                # One compile per snapshot slot, keyed by simulated time: the
+                # timeline shows the flash crowd exactly where it was active.
+                rec.window_inc(
+                    t_s, "repro_fault_background_load", value=float(total.sum())
+                )
         return total
 
     def compile_at(self, t_s: float, num_links: int) -> FaultView:
@@ -161,6 +170,20 @@ class FaultSchedule:
                 grounds |= process.failed_grounds(t_s)
             if hasattr(process, "ground_segment_down"):
                 segment_down = segment_down or process.ground_segment_down(t_s)
+
+        if failed or segment_down:
+            rec = get_recorder()
+            if rec.enabled:
+                # Compiled once per snapshot slot (the serve path caches the
+                # view), so each window records the fault state it ran under.
+                if failed:
+                    rec.window_inc(
+                        t_s,
+                        "repro_fault_failed_satellites",
+                        value=float(len(failed)),
+                    )
+                if segment_down:
+                    rec.window_inc(t_s, "repro_fault_ground_down_total")
 
         return FaultView(
             t_s=t_s,

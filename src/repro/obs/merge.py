@@ -14,6 +14,10 @@ message lands. The parent folds every delta into its own recorder
 * **histograms merge bucket-wise** — bounds are validated against the
   parent's pinned buckets (:class:`~repro.errors.ObsError` on drift), then
   per-bucket counts, totals and counts add;
+* **windowed time series merge window-wise** — every cell is an integer
+  (counts and fixed-point totals, see :mod:`repro.obs.timeseries`), so the
+  merged series is *byte-identical* to a serial run's regardless of shard
+  completion order, not merely numerically close;
 * **gauges keep per-worker series** — a gauge is a last-write-wins sample,
   so worker gauges get the shipping worker/shard labels appended instead
   of clobbering each other;
@@ -41,7 +45,10 @@ from repro.obs.tracing import TraceBuffer
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.obs.recorder import ObsRecorder
 
-DELTA_FORMAT_VERSION = 1
+DELTA_FORMAT_VERSION = 2
+"""Bumped to 2 when deltas grew the ``timeseries`` pillar (windowed
+series); version-1 deltas ship no windows, so merging them silently would
+under-count the merged timeline — refusing is the honest failure."""
 
 ABANDONED_TIMERS_METRIC = "repro_profile_abandoned_total"
 """Counter of profile timers dropped because their worker's recorder was
@@ -62,6 +69,7 @@ def snapshot_delta(recorder: "ObsRecorder", drain: bool = True) -> dict:
     return {
         "format_version": DELTA_FORMAT_VERSION,
         "metrics": recorder.metrics.snapshot_delta(drain=drain),
+        "timeseries": recorder.timeseries.snapshot_delta(drain=drain),
         "trace": recorder.trace.snapshot_delta(drain=drain),
         "profile": recorder.profile.snapshot_delta(drain=drain),
     }
@@ -87,6 +95,7 @@ def merge_delta(
             f"and parent?)"
         )
     merge_metrics_delta(recorder.metrics, delta["metrics"], extra_labels)
+    recorder.timeseries.merge_delta(delta["timeseries"])
     merge_trace_delta(recorder.trace, delta["trace"], dict(extra_labels))
     merge_profile_delta(recorder.profile, delta["profile"])
     abandoned = delta["profile"].get("abandoned", 0)

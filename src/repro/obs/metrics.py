@@ -14,6 +14,7 @@ import math
 from bisect import bisect_left
 from pathlib import Path
 
+from repro.analysis.quantiles import histogram_quantile
 from repro.atomicio import atomic_write_text
 from repro.errors import ObsError
 
@@ -89,13 +90,7 @@ class Histogram:
         """Bucket-resolved quantile estimate (upper bound of the hit bucket)."""
         if not 0.0 <= q <= 1.0:
             raise ObsError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return math.nan
-        rank = q * self.count
-        for bound, cumulative in self.cumulative():
-            if cumulative >= rank:
-                return bound
-        return math.inf  # pragma: no cover - cumulative always reaches count
+        return histogram_quantile(self.cumulative(), self.count, q)
 
 
 class MetricsRegistry:

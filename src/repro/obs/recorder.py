@@ -26,6 +26,7 @@ from typing import Any, Iterator
 
 from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS, Labels, MetricsRegistry
 from repro.obs.profiling import ProfileAccumulator
+from repro.obs.timeseries import TimeSeriesBuffer
 from repro.obs.tracing import SpanHandle, TraceBuffer
 
 
@@ -80,6 +81,21 @@ class NoopRecorder:
     ) -> None:
         return None
 
+    def window_inc(
+        self, t_s: float, name: str, labels: Labels = (), value: float = 1.0
+    ) -> None:
+        return None
+
+    def window_observe(
+        self,
+        t_s: float,
+        name: str,
+        value: float,
+        labels: Labels = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        return None
+
     def timer(self, site: str) -> _NoopContext:
         return _NOOP_CONTEXT
 
@@ -96,12 +112,13 @@ class NoopRecorder:
         self,
         metrics_path: str | Path | None = None,
         trace_path: str | Path | None = None,
+        timeseries_path: str | Path | None = None,
     ) -> None:
         return None
 
 
 class ObsRecorder:
-    """A live recorder: metrics + trace + profile behind one facade."""
+    """A live recorder: metrics + timeseries + trace + profile in one facade."""
 
     enabled = True
 
@@ -111,11 +128,15 @@ class ObsRecorder:
         trace: TraceBuffer | None = None,
         profile: ProfileAccumulator | None = None,
         events: Any = None,
+        timeseries: TimeSeriesBuffer | None = None,
     ) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.trace = trace if trace is not None else TraceBuffer()
         self.profile = profile if profile is not None else ProfileAccumulator()
         self.events = events  # an EventLog, wired per run by the runner
+        self.timeseries = (
+            timeseries if timeseries is not None else TimeSeriesBuffer()
+        )
 
     # -- metrics -----------------------------------------------------------
 
@@ -133,6 +154,25 @@ class ObsRecorder:
         buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
     ) -> None:
         self.metrics.observe(name, value, labels, buckets)
+
+    # -- windowed time series ----------------------------------------------
+
+    def window_inc(
+        self, t_s: float, name: str, labels: Labels = (), value: float = 1.0
+    ) -> None:
+        """Count an event in the simulated-time window containing ``t_s``."""
+        self.timeseries.inc(t_s, name, labels, value)
+
+    def window_observe(
+        self,
+        t_s: float,
+        name: str,
+        value: float,
+        labels: Labels = (),
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        """Histogram-sample an event in the window containing ``t_s``."""
+        self.timeseries.observe(t_s, name, value, labels, buckets)
 
     # -- profiling ---------------------------------------------------------
 
@@ -185,6 +225,7 @@ class ObsRecorder:
         self,
         metrics_path: str | Path | None = None,
         trace_path: str | Path | None = None,
+        timeseries_path: str | Path | None = None,
     ) -> None:
         """Atomically write the requested artifacts (buffers are retained)."""
         if metrics_path is not None:
@@ -192,11 +233,16 @@ class ObsRecorder:
             self.metrics.write_prometheus(metrics_path)
         if trace_path is not None:
             self.trace.flush(trace_path)
-        if metrics_path is not None or trace_path is not None:
+        if timeseries_path is not None:
+            self.timeseries.write_json(timeseries_path)
+        if (metrics_path, trace_path, timeseries_path) != (None, None, None):
             self.event(
                 "obs_flush",
                 metrics=None if metrics_path is None else str(metrics_path),
                 trace=None if trace_path is None else str(trace_path),
+                timeseries=(
+                    None if timeseries_path is None else str(timeseries_path)
+                ),
             )
 
 

@@ -1,0 +1,362 @@
+"""SLO specs and error-budget evaluation over windowed time series.
+
+A spec is one declarative line in the shape SRE teams write them::
+
+    availability >= 99% over 30 epochs
+    p99 <= 150ms over 5 epochs
+    shed_fraction <= 5%
+    hit_ratio >= 80%
+
+and evaluation follows the Google-SRE error-budget framing: the budget is
+the *allowed bad fraction* implied by the objective (``availability >=
+99%`` allows 1% of requests to fail; ``p99 <= 150ms`` allows 1% of
+requests to exceed 150 ms), and the **burn rate** of a window span is
+
+    burn = (bad events / total events) / budget
+
+so burn 1.0 spends the budget exactly as fast as the objective allows,
+and burn 10 means a 1%-budget objective is failing 10% of requests.
+Each window gets a short burn (that window alone) and a long burn (the
+trailing ``over N epochs`` span, aggregated by *counts*, not by averaging
+per-window ratios); a window **breaches** when its long-span aggregate
+violates the objective — one quiet window cannot hide a bad spell, and
+one bad second cannot page you out of a month of headroom.
+
+Latency objectives are evaluated against the fixed-bucket windowed
+histograms, so a threshold is judged at bucket resolution: samples count
+as "good" only when their bucket's upper bound is ``<= threshold``.
+Thresholds that sit on a bucket bound (the default ladder:
+1/2.5/5/10/25/50/75/100/150/200/300/500/1000 ms) are judged exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.quantiles import histogram_quantile
+from repro.analysis.tables import format_table
+from repro.errors import ObsError
+
+SERVE_TOTAL = "repro_serve_total"
+SERVE_RTT_MS = "repro_serve_rtt_ms"
+SERVE_UNAVAILABLE = "repro_serve_unavailable_total"
+SERVE_HIT = "repro_serve_hit_total"
+SERVE_RETRIES = "repro_serve_retries_total"
+OVERLOAD_SHED = "repro_overload_shed_total"
+BREAKER_OPENS = "repro_breaker_opens_total"
+OFFERED_TOTAL = "repro_offered_total"
+"""Windowed series names the serve path records (the scalar registry uses
+the same names; the two pillars never share a namespace)."""
+
+_SPEC_RE = re.compile(
+    r"^\s*(?P<metric>[a-z][a-z0-9_]*)\s*"
+    r"(?P<op><=|>=)\s*"
+    r"(?P<value>[0-9]+(?:\.[0-9]+)?)\s*"
+    r"(?P<unit>%|ms)?"
+    r"(?:\s+over\s+(?P<span>[1-9][0-9]*)\s+(?:epochs?|windows?))?\s*$",
+    re.IGNORECASE,
+)
+
+_RATIO_METRICS = {
+    "availability": ">=",
+    "hit_ratio": ">=",
+    "shed_fraction": "<=",
+}
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One parsed objective: ``metric op threshold [over N epochs]``."""
+
+    metric: str  # "availability", "shed_fraction", "hit_ratio", or "pNN"
+    op: str  # "<=" or ">="
+    threshold: float  # ratio metrics as a fraction, latency in ms
+    over_windows: int = 1
+    raw: str = ""
+
+    @property
+    def budget(self) -> float:
+        """The allowed bad fraction implied by the objective."""
+        if self.metric.startswith("p"):
+            return 1.0 - float(self.metric[1:]) / 100.0
+        if self.op == ">=":
+            return 1.0 - self.threshold
+        return self.threshold
+
+    def describe(self) -> str:
+        if self.metric.startswith("p"):
+            shown = f"{self.metric} <= {self.threshold:g}ms"
+        else:
+            shown = f"{self.metric} {self.op} {self.threshold:.4g}"
+        if self.over_windows > 1:
+            shown += f" over {self.over_windows} epochs"
+        return shown
+
+
+def parse_slo(text: str) -> SloSpec:
+    """Parse one SLO spec line; :class:`~repro.errors.ObsError` on nonsense."""
+    match = _SPEC_RE.match(text)
+    if match is None:
+        raise ObsError(
+            f"cannot parse SLO {text!r}; expected e.g. "
+            f"'availability >= 99% over 30 epochs' or 'p99 <= 150ms'"
+        )
+    metric = match.group("metric").lower()
+    op = match.group("op")
+    value = float(match.group("value"))
+    unit = (match.group("unit") or "").lower()
+    span = int(match.group("span") or 1)
+
+    if re.fullmatch(r"p[0-9]{1,2}(\.[0-9]+)?", metric):
+        if op != "<=":
+            raise ObsError(f"latency SLO {metric!r} must use <=, got {op}")
+        if unit == "%":
+            raise ObsError(f"latency SLO {metric!r} takes a ms threshold, not %")
+        quantile = float(metric[1:])
+        if not 0.0 < quantile < 100.0:
+            raise ObsError(f"latency SLO quantile must be in (0, 100), got {metric!r}")
+        return SloSpec(metric, op, value, span, text.strip())
+
+    required_op = _RATIO_METRICS.get(metric)
+    if required_op is None:
+        raise ObsError(
+            f"unknown SLO metric {metric!r}; known: "
+            f"{', '.join(sorted(_RATIO_METRICS))}, pNN"
+        )
+    if op != required_op:
+        raise ObsError(f"SLO metric {metric!r} must use {required_op}, got {op}")
+    if unit == "ms":
+        raise ObsError(f"SLO metric {metric!r} takes a fraction or %, not ms")
+    threshold = value / 100.0 if unit == "%" else value
+    if not 0.0 <= threshold <= 1.0:
+        raise ObsError(
+            f"SLO threshold for {metric!r} must land in [0, 1], got {threshold:g}"
+        )
+    return SloSpec(metric, op, threshold, span, text.strip())
+
+
+@dataclass(frozen=True)
+class SloWindowVerdict:
+    """One window's evaluation: its own SLI plus the trailing-span burn."""
+
+    window: int
+    sli: float  # this window's value (NaN when it saw no traffic)
+    burn_short: float  # this window's burn rate
+    burn_long: float  # trailing over_windows-span burn rate
+    breached: bool  # the trailing span violates the objective
+
+
+@dataclass
+class SloReport:
+    """The full evaluation of one spec over one time-series document."""
+
+    spec: SloSpec
+    verdicts: list[SloWindowVerdict] = field(default_factory=list)
+
+    @property
+    def breached(self) -> bool:
+        return any(v.breached for v in self.verdicts)
+
+    @property
+    def breached_windows(self) -> list[int]:
+        return [v.window for v in self.verdicts if v.breached]
+
+
+def _sum_counter(doc: dict, name: str) -> dict[int, float]:
+    """One counter's per-window totals, summed across label sets."""
+    out: dict[int, float] = {}
+    for series in doc.get("counters", ()):
+        if series["name"] != name:
+            continue
+        for window, value in series["points"]:
+            out[window] = out.get(window, 0.0) + value
+    return out
+
+
+def _sum_histogram(doc: dict, name: str) -> tuple[tuple[float, ...], dict[int, list]]:
+    """One histogram's per-window cells ``[bucket_counts, count]``, summed
+    across label sets (bounds are pinned per name, so cells always align)."""
+    bounds: tuple[float, ...] = ()
+    cells: dict[int, list] = {}
+    for series in doc.get("histograms", ()):
+        if series["name"] != name:
+            continue
+        bounds = tuple(float(b) for b in series["bounds"])
+        for point in series["points"]:
+            window = point["window"]
+            cell = cells.get(window)
+            if cell is None:
+                cell = cells[window] = [[0] * len(point["bucket_counts"]), 0]
+            for index, count in enumerate(point["bucket_counts"]):
+                cell[0][index] += count
+            cell[1] += point["count"]
+    return bounds, cells
+
+
+def _span_windows(windows: list[int], end: int, length: int) -> list[int]:
+    """The trailing-span members: indices in ``(end - length, end]``."""
+    return [w for w in windows if end - length < w <= end]
+
+
+def _ratio_events(
+    spec: SloSpec, counts: dict[str, dict[int, float]], span: list[int]
+) -> tuple[float, float]:
+    """(bad, total) event counts of a ratio metric over a window span."""
+    served = sum(counts["served"].get(w, 0.0) for w in span)
+    unavailable = sum(counts["unavailable"].get(w, 0.0) for w in span)
+    shed = sum(counts["shed"].get(w, 0.0) for w in span)
+    hits = sum(counts["hits"].get(w, 0.0) for w in span)
+    if spec.metric == "availability":
+        return unavailable + shed, served + unavailable + shed
+    if spec.metric == "shed_fraction":
+        return shed, served + unavailable + shed
+    return served - hits, served  # hit_ratio: a served miss burns budget
+
+
+def _latency_events(
+    spec: SloSpec, bounds: tuple[float, ...], cells: dict[int, list], span: list[int]
+) -> tuple[float, float, float]:
+    """(bad, total, sli) of a latency metric over a window span; ``sli`` is
+    the span's bucket-resolved quantile."""
+    merged_counts = [0] * (len(bounds) + 1)
+    total = 0
+    for w in span:
+        cell = cells.get(w)
+        if cell is None:
+            continue
+        for index, count in enumerate(cell[0]):
+            merged_counts[index] += count
+        total += cell[1]
+    if total == 0:
+        return 0.0, 0.0, math.nan
+    good = 0
+    cumulative: list[tuple[float, int]] = []
+    running = 0
+    for bound, bucket in zip(bounds, merged_counts):
+        running += bucket
+        cumulative.append((bound, running))
+        if bound <= spec.threshold:
+            good = running
+    cumulative.append((math.inf, total))
+    sli = histogram_quantile(cumulative, total, float(spec.metric[1:]) / 100.0)
+    return float(total - good), float(total), sli
+
+
+def _violates(spec: SloSpec, sli: float) -> bool:
+    if math.isnan(sli):
+        return False
+    return sli > spec.threshold if spec.op == "<=" else sli < spec.threshold
+
+
+def _burn(bad: float, total: float, budget: float) -> float:
+    if total == 0:
+        return 0.0
+    bad_fraction = bad / total
+    if budget <= 0.0:
+        return math.inf if bad_fraction > 0 else 0.0
+    return bad_fraction / budget
+
+
+def evaluate_slo(doc: dict, spec: SloSpec) -> SloReport:
+    """Evaluate one spec against an ``obs-timeseries.json`` document."""
+    windows = [int(w) for w in doc.get("windows", [])]
+    report = SloReport(spec)
+    if not windows:
+        return report
+
+    is_latency = spec.metric.startswith("p")
+    if is_latency:
+        bounds, cells = _sum_histogram(doc, SERVE_RTT_MS)
+        if not bounds:
+            raise ObsError(
+                f"time series holds no {SERVE_RTT_MS!r} histogram; was the "
+                f"run recorded with --obs on an instrumented serve path?"
+            )
+    else:
+        counts = {
+            "served": _sum_counter(doc, SERVE_TOTAL),
+            "unavailable": _sum_counter(doc, SERVE_UNAVAILABLE),
+            "shed": _sum_counter(doc, OVERLOAD_SHED),
+            "hits": _sum_counter(doc, SERVE_HIT),
+        }
+
+    for window in windows:
+        span = _span_windows(windows, window, spec.over_windows)
+        if is_latency:
+            bad_s, total_s, sli = _latency_events(spec, bounds, cells, [window])
+            bad_l, total_l, sli_long = _latency_events(spec, bounds, cells, span)
+        else:
+            bad_s, total_s = _ratio_events(spec, counts, [window])
+            bad_l, total_l = _ratio_events(spec, counts, span)
+            sli = math.nan if total_s == 0 else 1.0 - bad_s / total_s
+            if spec.metric == "shed_fraction":
+                sli = math.nan if total_s == 0 else bad_s / total_s
+            sli_long = math.nan if total_l == 0 else 1.0 - bad_l / total_l
+            if spec.metric == "shed_fraction":
+                sli_long = math.nan if total_l == 0 else bad_l / total_l
+        report.verdicts.append(
+            SloWindowVerdict(
+                window=window,
+                sli=sli,
+                burn_short=_burn(bad_s, total_s, spec.budget),
+                burn_long=_burn(bad_l, total_l, spec.budget),
+                breached=_violates(spec, sli_long),
+            )
+        )
+    return report
+
+
+def evaluate_slos(doc: dict, specs: list[SloSpec]) -> list[SloReport]:
+    """Evaluate every spec against one document."""
+    return [evaluate_slo(doc, spec) for spec in specs]
+
+
+def _fmt_sli(spec: SloSpec, value: float) -> str:
+    if math.isnan(value):
+        return "n/a"
+    if spec.metric.startswith("p"):
+        return f"{value:g}ms"
+    return f"{value:.2%}"
+
+
+def _fmt_burn(value: float) -> str:
+    if math.isinf(value):
+        return "inf"
+    return f"{value:.2f}x"
+
+
+def render_slo_report(reports: list[SloReport], window_s: float) -> str:
+    """All reports as tables plus a one-line verdict each."""
+    sections: list[str] = []
+    for report in reports:
+        spec = report.spec
+        multi = spec.over_windows > 1
+        rows = [
+            (v.window, _fmt_sli(spec, v.sli), _fmt_burn(v.burn_short))
+            + ((_fmt_burn(v.burn_long),) if multi else ())
+            + ("BREACH" if v.breached else "ok",)
+            for v in report.verdicts
+        ]
+        header = (
+            f"SLO: {spec.describe()}  "
+            f"(error budget {spec.budget:.2%}, window {window_s:g}s)"
+        )
+        if not rows:
+            sections.append(f"{header}\n  no windows recorded")
+            continue
+        headers = ("window", "sli", "burn(1w)")
+        if multi:
+            headers += (f"burn({spec.over_windows}w)",)
+        table = format_table(headers + ("status",), rows)
+        breached = report.breached_windows
+        if breached:
+            verdict = (
+                f"BREACHED in {len(breached)}/{len(rows)} windows "
+                f"(first at window {breached[0]})"
+            )
+        else:
+            verdict = f"OK across {len(rows)} windows"
+        sections.append(f"{header}\n{table}\n  -> {verdict}")
+    return "\n\n".join(sections)

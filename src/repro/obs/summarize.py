@@ -13,24 +13,12 @@ import math
 from pathlib import Path
 from typing import Iterable
 
+from repro.analysis.quantiles import sample_quantile as _quantile
 from repro.analysis.tables import format_table
 from repro.errors import ObsError
 from repro.obs.tracing import read_trace
 
 TIER_ORDER = ("access", "direct-visible", "isl", "ground")
-
-
-def _quantile(sorted_samples: list[float], q: float) -> float:
-    """Linear-interpolation quantile of an ascending sample list."""
-    if not sorted_samples:
-        return math.nan
-    if len(sorted_samples) == 1:
-        return sorted_samples[0]
-    position = q * (len(sorted_samples) - 1)
-    low = int(position)
-    high = min(low + 1, len(sorted_samples) - 1)
-    weight = position - low
-    return sorted_samples[low] * (1.0 - weight) + sorted_samples[high] * weight
 
 
 def _fmt_ms(value: float) -> str:

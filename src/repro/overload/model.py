@@ -395,6 +395,11 @@ class OverloadModel:
                 "repro_breaker_transitions_total",
                 (("from", old), ("to", new)),
             )
+            if new == "open":
+                # Windowed by the simulated time of the tripping request, so
+                # the timeline dashboard can align breaker trips with the
+                # shed/latency spikes they respond to.
+                rec.window_inc(t_s, "repro_breaker_opens_total")
             for state in BREAKER_STATES:
                 rec.set_gauge(
                     "repro_breaker_state",

@@ -32,7 +32,10 @@ contract:
   and parked in an atomic ``obs/`` sidecar the parent salvages if the
   worker dies first (:mod:`repro.obs.merge`). The parent folds every
   delta into the run's recorder, so a ``--jobs 8`` run and a ``--jobs 1``
-  run report identical aggregate counters and histograms.
+  run report identical aggregate counters and histograms — and, because
+  the windowed time-series pillar (:mod:`repro.obs.timeseries`) keys every
+  cell by *simulated* time and stores only integers, byte-identical
+  per-window series too, regardless of shard completion order.
 * **Signals drain, then stop.** The first SIGINT/SIGTERM stops new
   assignments and waits for in-flight shards to finish and flush; the
   second terminates the pool immediately (both via

@@ -661,6 +661,9 @@ class SpaceCdnSystem:
             self.stats.unavailable += 1
             if rec.enabled:
                 rec.inc("repro_serve_unavailable_total", (("reason", "no-sky"),))
+                rec.window_inc(
+                    t_s, "repro_serve_unavailable_total", (("reason", "no-sky"),)
+                )
                 if span:
                     self._emit_serve_trace(
                         rec, object_id, t_s, "unavailable", None, None, 0, None,
@@ -760,6 +763,11 @@ class SpaceCdnSystem:
         if rec.enabled:
             rec.inc(
                 "repro_serve_unavailable_total", (("reason", exhausted_reason),)
+            )
+            rec.window_inc(
+                t_s,
+                "repro_serve_unavailable_total",
+                (("reason", exhausted_reason),),
             )
             if span:
                 self._emit_serve_trace(
@@ -870,6 +878,9 @@ class SpaceCdnSystem:
             self.stats.unavailable += 1
             if rec.enabled:
                 rec.inc("repro_serve_unavailable_total", (("reason", "no-sky"),))
+                rec.window_inc(
+                    t_s, "repro_serve_unavailable_total", (("reason", "no-sky"),)
+                )
                 if span:
                     self._emit_serve_trace(
                         rec, object_id, t_s, "unavailable", None, None, 0, None,
@@ -1063,6 +1074,11 @@ class SpaceCdnSystem:
                     "repro_overload_shed_total",
                     (("class", str(priority)), ("reason", shed_reason)),
                 )
+                rec.window_inc(
+                    t_s,
+                    "repro_overload_shed_total",
+                    (("class", str(priority)), ("reason", shed_reason)),
+                )
                 if span:
                     self._emit_serve_trace(
                         rec, object_id, t_s, "shed", None, None, 0, None,
@@ -1083,6 +1099,11 @@ class SpaceCdnSystem:
         if rec.enabled:
             rec.inc(
                 "repro_serve_unavailable_total", (("reason", exhausted_reason),)
+            )
+            rec.window_inc(
+                t_s,
+                "repro_serve_unavailable_total",
+                (("reason", exhausted_reason),),
             )
             if span:
                 self._emit_serve_trace(
@@ -1727,6 +1748,17 @@ class SpaceCdnSystem:
             labels = _TIER_LABELS[tier]
             rec.inc("repro_serve_total", labels)
             rec.observe("repro_serve_rtt_ms", rtt_ms, labels)
+            # Windowed twins of the scalar series, keyed by the request's
+            # *simulated* arrival time — the temporal axis behind
+            # ``repro obs timeline`` / ``repro obs slo``.
+            rec.window_inc(t_s, "repro_serve_total", labels)
+            rec.window_observe(t_s, "repro_serve_rtt_ms", rtt_ms, labels)
+            if fallback_reason is None:
+                rec.window_inc(t_s, "repro_serve_hit_total", labels)
+            if attempts > 1:
+                rec.window_inc(
+                    t_s, "repro_serve_retries_total", value=float(attempts - 1)
+                )
             if fallback_reason is not None:
                 rec.inc(
                     "repro_serve_fallback_total", (("reason", fallback_reason),)

@@ -94,6 +94,16 @@ def build_obstoy(seed=1, width=6):
         rec.inc("repro_obstoy_value_total", value=float(index * seed))
         rec.observe("repro_obstoy_index", float(index), buckets=(2.0, 4.0))
         rec.set_gauge("repro_obstoy_last_index", float(index))
+        # Windowed series keyed by deterministic simulated time: 45 s
+        # apart, so neighbouring shards share 60 s windows and the merge
+        # must re-aggregate cells, not just concatenate them.
+        t_s = float(index) * 45.0
+        rec.window_inc(
+            t_s, "repro_obstoy_windowed_total", value=float(index * seed)
+        )
+        rec.window_observe(
+            t_s, "repro_obstoy_windowed_ms", float(index), buckets=(2.0, 4.0)
+        )
         with rec.timer("obstoy.shard"):
             pass
         rec.record_span("obstoy_shard", shard=sid)
@@ -482,6 +492,32 @@ class TestFleetObservability:
         fleet_out, fleet = self.run_with_obs(tmp_path / "fleet", 4)
         assert fleet_out == serial_out
         assert registry_diff(fleet.metrics, serial.metrics) == []
+
+    def test_parallel_window_series_equal_serial(self, tmp_path):
+        """The windowed time series of a ``--jobs 4`` run is byte-identical
+        to the serial run's: window assignment keys on simulated time and
+        cells are integers, so shard completion order cannot leak in."""
+        from repro.obs import timeseries_diff
+
+        _, serial = self.run_with_obs(tmp_path / "serial", 1)
+        _, fleet = self.run_with_obs(tmp_path / "fleet", 4)
+        assert timeseries_diff(fleet.timeseries, serial.timeseries) == []
+        assert json.dumps(
+            fleet.timeseries.to_json(), sort_keys=True
+        ) == json.dumps(serial.timeseries.to_json(), sort_keys=True)
+
+    def test_chaos_run_window_series_equal_clean_serial(self, tmp_path):
+        """Crashed and killed attempts ship no windowed deltas either, so
+        the merged series of a chaos fleet still equals the clean serial
+        run's — the windowed analogue of the registry contract."""
+        from repro.obs import timeseries_diff
+
+        _, serial = self.run_with_obs(tmp_path / "serial", 1)
+        plan = selfchaos.build_plan(
+            OBSTOY_CONFIG, {"s01": {1: "crash"}, "s02": {1: "kill"}}
+        )
+        _, fleet = self.run_with_obs(tmp_path / "fleet", 4, plan=plan)
+        assert timeseries_diff(fleet.timeseries, serial.timeseries) == []
 
     def test_chaos_run_aggregates_equal_clean_serial(self, tmp_path):
         """Crashed and killed attempts ship no obs, so the merged registry
